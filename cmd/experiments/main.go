@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig4 -budget1 4000 -budget2 6000
+//	experiments -run all -out EXPERIMENTS.out.md
+//
+// Every experiment prints the paper's claim next to the measured result so
+// shape deviations are visible at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"racesim/internal/expt"
+)
+
+func main() {
+	var (
+		which   = flag.String("run", "all", "experiment id: all, table1, table2, fig2, fig4, fig5, fig6, fig7, fig8, staged")
+		scale   = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		events  = flag.Int("events", 60_000, "workload trace length")
+		budget1 = flag.Int("budget1", 2500, "irace budget, round 1")
+		budget2 = flag.Int("budget2", 3500, "irace budget, round 2")
+		seed    = flag.Int64("seed", 0, "seed")
+		out     = flag.String("out", "", "also write results to this file")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if err := run(*which, *scale, *events, *budget1, *budget2, *seed, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, scale float64, events, budget1, budget2 int, seed int64, out string, quiet bool) error {
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	ctx, err := expt.NewContext(expt.Options{
+		UbenchScale:    scale,
+		WorkloadEvents: events,
+		BudgetRound1:   budget1,
+		BudgetRound2:   budget2,
+		Seed:           seed,
+		Log:            logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	var exps []expt.Experiment
+	if which == "all" {
+		exps, err = ctx.All()
+		if err != nil {
+			return err
+		}
+	} else {
+		fns := map[string]func() (expt.Experiment, error){
+			"table1": ctx.Table1, "table2": ctx.Table2, "fig2": ctx.Fig2,
+			"fig4": ctx.Fig4, "fig5": ctx.Fig5, "fig6": ctx.Fig6,
+			"fig7": ctx.Fig7, "fig8": ctx.Fig8, "staged": ctx.Staged,
+		}
+		fn, ok := fns[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", which)
+		}
+		e, err := fn()
+		if err != nil {
+			return err
+		}
+		exps = []expt.Experiment{e}
+	}
+
+	var b strings.Builder
+	for _, e := range exps {
+		b.WriteString(e.Render())
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+	if out != "" {
+		if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command racesim runs a single workload through a simulator configuration
+// and prints the timing result — the equivalent of one Sniper run.
+//
+// Usage:
+//
+//	racesim -preset public-a53 -ubench MD
+//	racesim -preset public-a72 -workload mcf -events 200000
+//	racesim -config tuned.json -workload povray
+//	racesim -preset public-a53 -trace path.rift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+	"racesim/internal/ubench"
+	"racesim/internal/workload"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "public-a53", "built-in config: public-a53 or public-a72")
+		cfgPath   = flag.String("config", "", "JSON config file (overrides -preset)")
+		benchName = flag.String("ubench", "", "micro-benchmark name (Table I)")
+		wlName    = flag.String("workload", "", "SPEC-like workload name (Table II)")
+		trPath    = flag.String("trace", "", "RIFT trace file to replay")
+		events    = flag.Int("events", 100_000, "workload trace length")
+		scale     = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed      = flag.Int64("seed", 0, "workload generator seed")
+	)
+	flag.Parse()
+	if err := run(*preset, *cfgPath, *benchName, *wlName, *trPath, *events, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "racesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset, cfgPath, benchName, wlName, trPath string, events int, scale float64, seed int64) error {
+	var cfg sim.Config
+	switch {
+	case cfgPath != "":
+		var err error
+		cfg, err = sim.LoadConfig(cfgPath)
+		if err != nil {
+			return err
+		}
+	case preset == "public-a53":
+		cfg = sim.PublicA53()
+	case preset == "public-a72":
+		cfg = sim.PublicA72()
+	default:
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+
+	var tr *trace.Trace
+	switch {
+	case benchName != "":
+		b, ok := ubench.ByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown micro-benchmark %q (see cmd/ubench -list)", benchName)
+		}
+		var err error
+		tr, err = b.Trace(ubench.Options{Scale: scale})
+		if err != nil {
+			return err
+		}
+	case wlName != "":
+		p, ok := workload.ByName(wlName)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", wlName)
+		}
+		var err error
+		tr, err = workload.Generate(p, workload.Options{Events: events, Seed: seed})
+		if err != nil {
+			return err
+		}
+	case trPath != "":
+		var err error
+		tr, err = trace.ReadFile(trPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -ubench, -workload or -trace is required")
+	}
+
+	res, err := cfg.Run(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("config:        %s (%s)\n", cfg.Name, cfg.Kind)
+	fmt.Printf("trace:         %s (%d instructions)\n", tr.Name, tr.Len())
+	fmt.Printf("cycles:        %d\n", res.Cycles)
+	fmt.Printf("CPI:           %.4f   (IPC %.4f)\n", res.CPI(), res.IPC())
+	fmt.Printf("branch MPKI:   %.2f   (mispredicts %d)\n",
+		res.Branch.MPKI(res.Instructions), res.Branch.Mispredicts())
+	fmt.Printf("L1D miss rate: %.2f%%  L2 miss rate: %.2f%%\n",
+		res.Mem.L1D.MissRate()*100, res.Mem.L2.MissRate()*100)
+	fmt.Printf("stalls:        front-end %d, data %d, structural %d cycles\n",
+		res.StallFrontEnd, res.StallData, res.StallStruct)
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command ubench inspects the Table I micro-benchmark suite: list the
+// benchmarks, dump a benchmark's trace to a RIFT file, or compare one
+// benchmark between the reference board and a simulator configuration.
+//
+// Usage:
+//
+//	ubench -list
+//	ubench -dump MD -o md.rift
+//	ubench -compare CS1 -core a53
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racesim/internal/hw"
+	"racesim/internal/isa"
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the suite")
+		dump    = flag.String("dump", "", "record a benchmark trace to -o")
+		out     = flag.String("o", "bench.rift", "output path for -dump")
+		compare = flag.String("compare", "", "compare a benchmark between board and model")
+		disasm  = flag.String("disasm", "", "print a benchmark's assembly listing")
+		coreK   = flag.String("core", "a53", "core for -compare: a53 or a72")
+		scale   = flag.Float64("scale", 0.01, "scale factor")
+		initArr = flag.Bool("init-arrays", false, "initialize arrays before the timed loop")
+	)
+	flag.Parse()
+	if err := run(*list, *dump, *out, *compare, *disasm, *coreK, *scale, *initArr); err != nil {
+		fmt.Fprintln(os.Stderr, "ubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, dump, out, compare, disasm, coreK string, scale float64, initArr bool) error {
+	opts := ubench.Options{Scale: scale, InitArrays: initArr}
+	switch {
+	case disasm != "":
+		b, ok := ubench.ByName(disasm)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", disasm)
+		}
+		prog, err := b.Program(opts)
+		if err != nil {
+			return err
+		}
+		listing, err := isa.DisassembleProgram(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Print(listing)
+		return nil
+
+	case list:
+		fmt.Printf("%-14s %-12s %12s  %s\n", "bench", "category", "paper insns", "description")
+		for _, b := range ubench.Suite() {
+			fmt.Printf("%-14s %-12s %12d  %s\n", b.Name, b.Category, b.PaperInstructions, b.Description)
+		}
+		return nil
+
+	case dump != "":
+		b, ok := ubench.ByName(dump)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", dump)
+		}
+		tr, err := b.Trace(opts)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d instructions\n", out, tr.Len())
+		return nil
+
+	case compare != "":
+		b, ok := ubench.ByName(compare)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", compare)
+		}
+		tr, err := b.Trace(opts)
+		if err != nil {
+			return err
+		}
+		plat, err := hw.Firefly()
+		if err != nil {
+			return err
+		}
+		board := plat.A53
+		cfg := sim.PublicA53()
+		if coreK == "a72" {
+			board = plat.A72
+			cfg = sim.PublicA72()
+		}
+		cnt, err := board.Measure(tr)
+		if err != nil {
+			return err
+		}
+		res, err := cfg.Run(tr)
+		if err != nil {
+			return err
+		}
+		errPct := (res.CPI() - cnt.CPI) / cnt.CPI * 100
+		fmt.Printf("benchmark:     %s (%d instructions)\n", b.Name, tr.Len())
+		fmt.Printf("board CPI:     %.4f (%s)\n", cnt.CPI, board.Name)
+		fmt.Printf("model CPI:     %.4f (%s)\n", res.CPI(), cfg.Name)
+		fmt.Printf("CPI error:     %+.1f%%\n", errPct)
+		fmt.Printf("board brMPKI:  %.2f   model brMPKI: %.2f\n",
+			cnt.BranchMPKI, res.Branch.MPKI(res.Instructions))
+		return nil
+	}
+	return fmt.Errorf("one of -list, -dump or -compare is required")
+}

@@ -1,0 +1,86 @@
+// Command validate runs the paper's full hardware-validation methodology
+// (Fig. 1) against the reference board for one core and writes the tuned
+// model configuration.
+//
+// Usage:
+//
+//	validate -core a53 -budget1 4000 -budget2 6000 -out tuned-a53.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/validate"
+)
+
+func main() {
+	var (
+		coreK   = flag.String("core", "a53", "core to validate: a53 or a72")
+		budget1 = flag.Int("budget1", 3000, "irace budget for tuning round 1")
+		budget2 = flag.Int("budget2", 4000, "irace budget for tuning round 2")
+		scale   = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed    = flag.Int64("seed", 0, "tuner seed")
+		out     = flag.String("out", "", "write the tuned config JSON here")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if err := run(*coreK, *budget1, *budget2, *scale, *seed, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(coreK string, budget1, budget2 int, scale float64, seed int64, out string, quiet bool) error {
+	plat, err := hw.Firefly()
+	if err != nil {
+		return err
+	}
+	board := plat.A53
+	public := sim.PublicA53()
+	if coreK == "a72" {
+		board = plat.A72
+		public = sim.PublicA72()
+	} else if coreK != "a53" {
+		return fmt.Errorf("unknown core %q", coreK)
+	}
+
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	stages, err := validate.Pipeline(board, public, validate.PipelineOptions{
+		BudgetRound1: budget1,
+		BudgetRound2: budget2,
+		Seed:         seed,
+		UbenchScale:  scale,
+		Log:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-10s %-12s %-12s\n", "stage", "mean error", "worst bench")
+	for _, s := range stages {
+		worst, _ := validate.MaxError(s.Errors)
+		fmt.Printf("%-10s %-12s %s (%.1f%%)\n", s.Name,
+			fmt.Sprintf("%.1f%%", s.MeanError*100), worst.Name, worst.Error*100)
+	}
+	final := stages[len(stages)-1]
+	fmt.Printf("\nper-category error of the final model:\n")
+	for cat, e := range validate.CategoryErrors(final.Errors) {
+		fmt.Printf("  %-14s %.1f%%\n", cat, e*100)
+	}
+
+	if out != "" {
+		if err := final.Config.MarshalJSONFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote tuned configuration to %s\n", out)
+	}
+	return nil
+}

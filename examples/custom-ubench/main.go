@@ -1,0 +1,70 @@
+// custom-ubench shows how to extend the validation suite with your own
+// targeted micro-benchmark: write it in racesim assembly, record it, and
+// check whether the model tracks the reference hardware on it.
+//
+// The benchmark here stresses store-to-load forwarding through the same
+// cache line from two alternating addresses — a behaviour the Table I
+// suite touches only lightly (STc).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"racesim/internal/asm"
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+)
+
+const src = `
+	.equ BUF, 0x50000
+	.org 0x1000
+	la   x1, BUF
+	movz x2, #0
+	la   x28, 12000
+loop:
+	// Ping-pong store->load pairs within one line.
+	strx x2, [x1, #0]
+	ldrx x3, [x1, #0]
+	strx x3, [x1, #8]
+	ldrx x2, [x1, #8]
+	addi x2, x2, #1
+	subi x28, x28, #1
+	cbnz x28, loop
+	halt
+`
+
+func main() {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Record("fwd-pingpong", prog, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plat, err := hw.Firefly()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hwC, err := plat.A53.Measure(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.PublicA53().Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	errPct := (res.CPI() - hwC.CPI) / hwC.CPI * 100
+	fmt.Printf("custom benchmark: %d dynamic instructions\n", tr.Len())
+	fmt.Printf("reference board CPI: %.3f\n", hwC.CPI)
+	fmt.Printf("untuned model CPI:   %.3f  (error %+.1f%%)\n", res.CPI(), errPct)
+	fmt.Println()
+	fmt.Println("To make this benchmark part of tuning, add it to the suite in")
+	fmt.Println("internal/ubench and it will participate in every race: each")
+	fmt.Println("irace instance is one benchmark, so new benchmarks sharpen the")
+	fmt.Println("statistical elimination for the components they stress.")
+}

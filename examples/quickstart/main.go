@@ -1,0 +1,56 @@
+// Quickstart: assemble a small program for the racesim ISA, record its
+// trace with the functional emulator, and run it through both core models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"racesim/internal/asm"
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+)
+
+const src = `
+	.equ BUF, 0x40000
+	.org 0x1000
+	// Sum an array of 512 quads, then scale the running sum.
+	la   x1, BUF
+	movz x2, #512      // elements
+	movz x3, #0        // sum
+loop:
+	ldrx x4, [x1, #0]
+	add  x3, x3, x4
+	addi x1, x1, #8
+	subi x2, x2, #1
+	cbnz x2, loop
+	// A short floating-point tail.
+	scvtf v1, x3
+	movz x5, #3
+	scvtf v2, x5
+	fdiv v3, v1, v2
+	fcvtzs x6, v3
+	halt
+`
+
+func main() {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Record("quickstart", prog, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d dynamic instructions\n\n", tr.Len())
+
+	for _, cfg := range []sim.Config{sim.PublicA53(), sim.PublicA72()} {
+		res, err := cfg.Run(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s (%-7s)  CPI %.3f  cycles %-6d  L1D miss %.1f%%  branch MPKI %.2f\n",
+			cfg.Name, cfg.Kind, res.CPI(), res.Cycles,
+			res.Mem.L1D.MissRate()*100, res.Branch.MPKI(res.Instructions))
+	}
+}

@@ -1,0 +1,70 @@
+// tune-a53 demonstrates the core of the paper: recover undisclosed
+// Cortex-A53 parameters by racing simulator configurations against
+// reference-hardware measurements of the targeted micro-benchmark suite,
+// then verify how many hidden parameters the tuner actually recovered.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+	"racesim/internal/validate"
+)
+
+func main() {
+	plat, err := hw.Firefly()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("measuring the 40 micro-benchmarks on the reference A53 (one-time)...")
+	ms, err := validate.MeasureSuite(plat.A53, ubench.Options{Scale: 0.004})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	public := sim.PublicA53()
+	before, err := validate.Errors(public, ms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, _ := validate.MaxError(before)
+	fmt.Printf("untuned model: mean CPI error %.1f%% (worst: %s at %.1f%%)\n\n",
+		validate.MeanError(before)*100, worst.Name, worst.Error*100)
+
+	fmt.Println("racing configurations with irace (budget 2000)...")
+	res, err := validate.Tune(public, ms, validate.TuneOptions{
+		Budget: 2000,
+		Seed:   42,
+		Log:    func(f string, a ...any) { fmt.Printf("  "+f+"\n", a...) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuned model: mean CPI error %.1f%%\n", validate.MeanError(res.Errors)*100)
+
+	// Post-hoc: compare recovered parameters against the hidden truth.
+	truth := sim.Extract(plat.A53.TrueConfig())
+	tuned := sim.Extract(res.Tuned)
+	var names []string
+	for n := range truth {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	recovered := 0
+	fmt.Println("\nparameter recovery (tuned vs hidden truth, mismatches shown):")
+	for _, n := range names {
+		if tuned[n] == truth[n] {
+			recovered++
+		} else {
+			fmt.Printf("  %-28s tuned %-10s truth %s\n", n, tuned[n], truth[n])
+		}
+	}
+	fmt.Printf("recovered %d/%d hidden parameters exactly\n", recovered, len(names))
+	fmt.Println("\n(parameters that differ usually have negligible CPI impact on the")
+	fmt.Println(" suite — exactly the specification-error blind spot Figs. 7-8 probe)")
+}

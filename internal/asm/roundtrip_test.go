@@ -1,0 +1,80 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"racesim/internal/isa"
+)
+
+// TestDisassembleAssembleRoundTrip checks that a program's disassembly
+// re-assembles to the identical words (the disassembler emits absolute hex
+// branch targets, which the assembler evaluates back to the same offsets).
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	src := `
+		.org 0x1000
+		start:
+			movz x1, #10
+			movz x2, #0
+			la x3, 0x40000
+		loop:
+			ldrx x4, [x3, #0]
+			add x2, x2, x4
+			strx x2, [x3, #8]
+			ldrxr x5, [x3, x2]
+			cmp x2, x4
+			b.lt skip
+			addi x2, x2, #1
+		skip:
+			scvtf v1, x2
+			fmul v2, v1, v1
+			fcmp v2, v1
+			subi x1, x1, #1
+			cbnz x1, loop
+			bl fn
+			halt
+		fn:
+			nop
+			ret
+	`
+	orig, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, err := isa.DisassembleProgram(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild assembler source from the listing: strip addresses, keep
+	// instruction text, restore the origin.
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org %#x\n", orig.Entry)
+	for _, line := range strings.Split(listing, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		// Lines look like "0x001000: add x1, x2, x3".
+		_, inst, ok := strings.Cut(line, ": ")
+		if !ok {
+			t.Fatalf("unparseable listing line %q", line)
+		}
+		b.WriteString(inst)
+		b.WriteByte('\n')
+	}
+	re, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\nsource:\n%s", err, b.String())
+	}
+	if len(re.Code) != len(orig.Code) {
+		t.Fatalf("reassembled %d words, want %d", len(re.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		if re.Code[i] != orig.Code[i] {
+			origD, _ := isa.Disassemble(orig.Entry+uint64(4*i), orig.Code[i])
+			reD, _ := isa.Disassemble(orig.Entry+uint64(4*i), re.Code[i])
+			t.Errorf("word %d: %#x (%s) != %#x (%s)", i, re.Code[i], reD, orig.Code[i], origD)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package branch
+
+import (
+	"racesim/internal/isa"
+)
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets  int
+	assoc int
+	tags  []uint64 // sets*assoc; 0 = invalid
+	tgts  []uint64
+	lru   []uint8
+}
+
+func newBTB(entries, assoc int) *btb {
+	sets := entries / assoc
+	b := &btb{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint64, entries),
+		tgts:  make([]uint64, entries),
+		lru:   make([]uint8, entries),
+	}
+	// Recency ranks must form a permutation per set (0 = MRU) for touch to
+	// age the other ways correctly.
+	for i := range b.lru {
+		b.lru[i] = uint8(i % assoc)
+	}
+	return b
+}
+
+func (b *btb) lookup(pc uint64) (uint64, bool) {
+	set := int((pc >> 2) % uint64(b.sets))
+	base := set * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == pc {
+			b.touch(base, w)
+			return b.tgts[base+w], true
+		}
+	}
+	return 0, false
+}
+
+func (b *btb) touch(base, way int) {
+	old := b.lru[base+way]
+	for w := 0; w < b.assoc; w++ {
+		if b.lru[base+w] < old {
+			b.lru[base+w]++
+		}
+	}
+	b.lru[base+way] = 0
+}
+
+func (b *btb) insert(pc, target uint64) {
+	set := int((pc >> 2) % uint64(b.sets))
+	base := set * b.assoc
+	victim := 0
+	for w := 0; w < b.assoc; w++ {
+		if b.tags[base+w] == pc || b.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if b.lru[base+w] > b.lru[base+victim] {
+			victim = w
+		}
+	}
+	b.tags[base+victim] = pc
+	b.tgts[base+victim] = target
+	b.touch(base, victim)
+}
+
+// indirect is a tagged target cache indexed by PC hashed with recent
+// indirect-target path history.
+type indirect struct {
+	tags []uint64
+	tgts []uint64
+	mask uint64
+	hist uint64
+	bits int
+}
+
+func newIndirect(entries, histBits int) *indirect {
+	return &indirect{
+		tags: make([]uint64, entries),
+		tgts: make([]uint64, entries),
+		mask: uint64(entries - 1),
+		bits: histBits,
+	}
+}
+
+func (p *indirect) idx(pc uint64) uint64 {
+	h := p.hist & (1<<p.bits - 1)
+	return ((pc >> 2) ^ h) & p.mask
+}
+
+func (p *indirect) lookup(pc uint64) (uint64, bool) {
+	i := p.idx(pc)
+	if p.tags[i] == pc {
+		return p.tgts[i], true
+	}
+	return 0, false
+}
+
+func (p *indirect) update(pc, target uint64) {
+	i := p.idx(pc)
+	p.tags[i] = pc
+	p.tgts[i] = target
+	// Fold several target bit ranges so aligned targets still perturb the
+	// path history.
+	p.hist = p.hist<<2 ^ (target>>2 ^ target>>12 ^ target>>22)
+}
+
+// ras is a return address stack.
+type ras struct {
+	stack []uint64
+	top   int
+	size  int
+}
+
+func newRAS(entries int) *ras { return &ras{stack: make([]uint64, max(entries, 1)), size: entries} }
+
+func (r *ras) push(addr uint64) {
+	if r.size == 0 {
+		return
+	}
+	r.top = (r.top + 1) % r.size
+	r.stack[r.top] = addr
+}
+
+func (r *ras) pop() (uint64, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + r.size) % r.size
+	return v, v != 0
+}
+
+// Stats accumulates prediction statistics.
+type Stats struct {
+	Branches      uint64 // conditional + unconditional direct
+	DirectionMiss uint64
+	BTBMiss       uint64 // taken branches whose target was not in the BTB
+	Indirect      uint64
+	IndirectMiss  uint64
+	Returns       uint64
+	ReturnMiss    uint64
+	Calls         uint64
+}
+
+// Mispredicts returns the total number of full pipeline-flush events.
+func (s *Stats) Mispredicts() uint64 { return s.DirectionMiss + s.IndirectMiss + s.ReturnMiss }
+
+// MPKI returns mispredictions per kilo-instruction given a total
+// instruction count.
+func (s *Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts()) / float64(instructions) * 1000
+}
+
+// Outcome describes how the unit handled one branch.
+type Outcome struct {
+	// Mispredict is a wrong direction or wrong predicted target: the
+	// pipeline restarts from the redirect stage (full penalty).
+	Mispredict bool
+	// TargetMiss is a correct direction but a BTB miss on a taken direct
+	// branch: the front-end refetches after decode (shorter bubble).
+	TargetMiss bool
+}
+
+// Unit is a complete branch prediction unit.
+type Unit struct {
+	cfg   Config
+	dir   DirectionPredictor
+	btb   *btb
+	ind   *indirect
+	ras   *ras
+	stats Stats
+}
+
+// NewUnit builds a unit from cfg; cfg must be valid.
+func NewUnit(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unit{
+		cfg: cfg,
+		dir: newDirection(cfg),
+		btb: newBTB(cfg.BTBEntries, cfg.BTBAssoc),
+		ras: newRAS(cfg.RASEntries),
+	}
+	if cfg.IndirectEnabled {
+		u.ind = newIndirect(cfg.IndirectEntries, cfg.IndirectHistory)
+	}
+	return u, nil
+}
+
+// Stats returns accumulated statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// staticPredict is the static fallback: backward taken, forward not-taken.
+func staticPredict(in *isa.Inst) bool {
+	return in.Target <= in.PC
+}
+
+// Access predicts the branch in, updates all structures with the actual
+// outcome, and reports the timing consequence.
+func (u *Unit) Access(in *isa.Inst) Outcome {
+	switch in.Cls {
+	case isa.ClassBranch:
+		u.stats.Branches++
+		var predTaken bool
+		if in.Op == isa.OpB {
+			predTaken = true // unconditional: direction known at decode
+		} else if _, ok := u.dir.(static); ok {
+			predTaken = staticPredict(in)
+		} else {
+			predTaken = u.dir.Predict(in.PC)
+		}
+		predTarget, btbHit := u.btb.lookup(in.PC)
+		u.dir.Update(in.PC, in.Taken)
+		if in.Taken {
+			u.btb.insert(in.PC, in.Target)
+		}
+		if predTaken != in.Taken {
+			u.stats.DirectionMiss++
+			return Outcome{Mispredict: true}
+		}
+		if in.Taken && (!btbHit || predTarget != in.Target) {
+			u.stats.BTBMiss++
+			return Outcome{TargetMiss: true}
+		}
+		return Outcome{}
+
+	case isa.ClassCall:
+		u.stats.Calls++
+		u.ras.push(in.PC + isa.InstSize)
+		_, btbHit := u.btb.lookup(in.PC)
+		u.btb.insert(in.PC, in.Target)
+		if !btbHit {
+			u.stats.BTBMiss++
+			return Outcome{TargetMiss: true}
+		}
+		return Outcome{}
+
+	case isa.ClassRet:
+		u.stats.Returns++
+		pred, ok := u.ras.pop()
+		if !ok || pred != in.Target {
+			u.stats.ReturnMiss++
+			return Outcome{Mispredict: true}
+		}
+		return Outcome{}
+
+	case isa.ClassBranchInd:
+		u.stats.Indirect++
+		var pred uint64
+		var hit bool
+		if u.ind != nil {
+			pred, hit = u.ind.lookup(in.PC)
+			u.ind.update(in.PC, in.Target)
+		} else {
+			pred, hit = u.btb.lookup(in.PC)
+			u.btb.insert(in.PC, in.Target)
+		}
+		if !hit || pred != in.Target {
+			u.stats.IndirectMiss++
+			return Outcome{Mispredict: true}
+		}
+		return Outcome{}
+	}
+	return Outcome{}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

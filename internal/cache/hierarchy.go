@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"fmt"
+
+	"racesim/internal/dram"
+)
+
+// HierarchyConfig describes a two-level cache hierarchy with TLBs and main
+// memory, matching the Cortex-A53/A72 organisation (private L1I/L1D,
+// unified L2, DRAM).
+type HierarchyConfig struct {
+	L1I  Config
+	L1D  Config
+	L2   Config
+	DRAM dram.Config
+
+	ITLBEntries    int
+	DTLBEntries    int
+	TLBMissLatency int
+	PageBytes      int
+
+	// ZeroFillOpt models the hardware behaviour the paper observed on
+	// uninitialized arrays: once a zero page has been touched, further
+	// cold misses to it are satisfied without a memory round trip.
+	ZeroFillOpt     bool
+	ZeroFillLatency int
+}
+
+// Validate reports configuration errors.
+func (c HierarchyConfig) Validate() error {
+	if err := c.L1I.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1D.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.ITLBEntries <= 0 || c.DTLBEntries <= 0 {
+		return fmt.Errorf("cache: TLB entries must be positive (%d, %d)", c.ITLBEntries, c.DTLBEntries)
+	}
+	if c.TLBMissLatency < 0 {
+		return fmt.Errorf("cache: TLBMissLatency = %d", c.TLBMissLatency)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("cache: PageBytes %d must be a power of two", c.PageBytes)
+	}
+	if c.ZeroFillOpt && c.ZeroFillLatency <= 0 {
+		return fmt.Errorf("cache: ZeroFillLatency = %d with ZeroFillOpt on", c.ZeroFillLatency)
+	}
+	return nil
+}
+
+// tlb is a small fully-associative TLB with LRU replacement.
+type tlb struct {
+	pages  []uint64
+	lru    []uint8
+	misses uint64
+	hits   uint64
+}
+
+func newTLB(entries int) *tlb {
+	t := &tlb{pages: make([]uint64, entries), lru: make([]uint8, entries)}
+	for i := range t.lru {
+		t.lru[i] = uint8(i)
+	}
+	return t
+}
+
+func (t *tlb) access(page uint64) bool {
+	page++ // bias so page 0 is distinguishable from empty slots
+	for i := range t.pages {
+		if t.pages[i] == page {
+			t.touch(i)
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	for i := range t.pages {
+		if t.pages[i] == 0 {
+			victim = i
+			break
+		}
+		if t.lru[i] > t.lru[victim] {
+			victim = i
+		}
+	}
+	t.pages[victim] = page
+	t.touch(victim)
+	return false
+}
+
+func (t *tlb) touch(i int) {
+	old := t.lru[i]
+	for j := range t.lru {
+		if t.lru[j] < old {
+			t.lru[j]++
+		}
+	}
+	t.lru[i] = 0
+}
+
+// dramBackend adapts the DRAM model to the Backend interface and applies
+// the zero-fill page optimization: a page that has only ever been read is
+// an OS zero page, and after its first touch the hardware satisfies
+// further cold reads without a memory round trip. Writing a page gives it
+// real contents and permanently disqualifies it.
+type dramBackend struct {
+	mem       *dram.DRAM
+	cfg       *HierarchyConfig
+	pageShift uint
+	written   map[uint64]bool
+	zeroSeen  map[uint64]bool
+	zeroFills uint64
+}
+
+func (b *dramBackend) BackAccess(now uint64, pc, addr uint64, write, pf bool) AccessResult {
+	page := addr >> b.pageShift
+	if write {
+		b.written[page] = true
+		return AccessResult{Latency: b.mem.Access(now, true), Level: 3}
+	}
+	if b.cfg.ZeroFillOpt && !b.written[page] {
+		if b.zeroSeen[page] {
+			b.zeroFills++
+			return AccessResult{Latency: uint64(b.cfg.ZeroFillLatency), Level: 3}
+		}
+		b.zeroSeen[page] = true
+	}
+	return AccessResult{Latency: b.mem.Access(now, false), Level: 3}
+}
+
+// HierarchyStats aggregates statistics across the hierarchy.
+type HierarchyStats struct {
+	L1I       Stats
+	L1D       Stats
+	L2        Stats
+	DRAM      dram.Stats
+	ITLBMiss  uint64
+	DTLBMiss  uint64
+	ZeroFills uint64
+}
+
+// Hierarchy is a complete memory subsystem for one core.
+type Hierarchy struct {
+	cfg       HierarchyConfig
+	l1i       *Level
+	l1d       *Level
+	l2        *Level
+	mem       *dramBackend
+	itlb      *tlb
+	dtlb      *tlb
+	pageShift uint
+}
+
+// NewHierarchy builds the hierarchy; cfg must be valid.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.PageBytes {
+		shift++
+	}
+	h := &Hierarchy{cfg: cfg, pageShift: shift}
+	h.mem = &dramBackend{
+		mem: mem, cfg: &h.cfg, pageShift: shift,
+		written: make(map[uint64]bool), zeroSeen: make(map[uint64]bool),
+	}
+	h.l2, err = NewLevel(cfg.L2, 2, h.mem)
+	if err != nil {
+		return nil, err
+	}
+	h.l1d, err = NewLevel(cfg.L1D, 1, h.l2)
+	if err != nil {
+		return nil, err
+	}
+	h.l1i, err = NewLevel(cfg.L1I, 1, h.l2)
+	if err != nil {
+		return nil, err
+	}
+	h.itlb = newTLB(cfg.ITLBEntries)
+	h.dtlb = newTLB(cfg.DTLBEntries)
+	return h, nil
+}
+
+// Load services a data load at cycle now.
+func (h *Hierarchy) Load(now uint64, pc, addr uint64) AccessResult {
+	res := h.l1d.Access(now, pc, addr, false)
+	if !h.dtlb.access(addr >> h.pageShift) {
+		res.Latency += uint64(h.cfg.TLBMissLatency)
+	}
+	return res
+}
+
+// Store services a data store at cycle now. Store latency is the time to
+// own the line; commit happens through the store buffer in the core model.
+func (h *Hierarchy) Store(now uint64, pc, addr uint64) AccessResult {
+	res := h.l1d.Access(now, pc, addr, true)
+	if !h.dtlb.access(addr >> h.pageShift) {
+		res.Latency += uint64(h.cfg.TLBMissLatency)
+	}
+	return res
+}
+
+// Fetch services an instruction fetch for the line containing pc.
+func (h *Hierarchy) Fetch(now uint64, pc uint64) AccessResult {
+	res := h.l1i.Access(now, pc, pc, false)
+	if !h.itlb.access(pc >> h.pageShift) {
+		res.Latency += uint64(h.cfg.TLBMissLatency)
+	}
+	return res
+}
+
+// L1D exposes the data cache level (for MSHR-aware core models).
+func (h *Hierarchy) L1D() *Level { return h.l1d }
+
+// Stats returns aggregated statistics.
+func (h *Hierarchy) Stats() HierarchyStats {
+	return HierarchyStats{
+		L1I:       h.l1i.Stats(),
+		L1D:       h.l1d.Stats(),
+		L2:        h.l2.Stats(),
+		DRAM:      h.mem.mem.Stats(),
+		ITLBMiss:  h.itlb.misses,
+		DTLBMiss:  h.dtlb.misses,
+		ZeroFills: h.mem.zeroFills,
+	}
+}

@@ -1,0 +1,435 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"racesim/internal/prefetch"
+)
+
+// AccessResult reports how an access was serviced.
+type AccessResult struct {
+	// Latency is the total load-to-use latency in cycles.
+	Latency uint64
+	// Level is the hierarchy level that supplied the data: 1 for an L1
+	// hit, 2 for L2, 3 for memory (0 is returned for pure write-through
+	// stores that complete in a store buffer).
+	Level int
+}
+
+// Backend services the misses of a Level: the next cache level or memory.
+type Backend interface {
+	// BackAccess services a line request. now is the issue cycle, pc the
+	// requesting instruction, write whether the line will be written, pf
+	// whether this is a prefetch (prefetches must not recursively train
+	// prefetchers).
+	BackAccess(now uint64, pc, addr uint64, write, pf bool) AccessResult
+}
+
+// Stats counts per-level events.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	Reads          uint64
+	Writes         uint64
+	Evictions      uint64
+	Writebacks     uint64
+	VictimHits     uint64
+	PrefetchIssued uint64
+	PrefetchUseful uint64
+	PortStalls     uint64 // cycles lost to port contention
+}
+
+// MissRate returns misses/accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per kilo-instruction.
+func (s *Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+type line struct {
+	tag        uint64 // block address (addr >> lineBits); valid if tagSet
+	valid      bool
+	dirty      bool
+	prefetched bool
+}
+
+// Level is one set-associative cache level.
+type Level struct {
+	cfg      Config
+	levelID  int
+	sets     int
+	assoc    int
+	lineBits uint
+	lines    []line
+	lru      []uint8 // recency rank per way (0 = MRU)
+	plru     []uint32
+	rng      uint64
+
+	victim     []line
+	victimLRU  []uint8
+	pf         prefetch.Prefetcher
+	next       Backend
+	stats      Stats
+	portCycle  uint64
+	portsUsed  int
+	inPrefetch bool // reentrancy guard
+}
+
+// NewLevel builds a cache level; cfg must be valid. levelID is its depth
+// (1 = closest to the core).
+func NewLevel(cfg Config, levelID int, next Backend) (*Level, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: nil backend", cfg.Name)
+	}
+	pf, err := prefetch.New(cfg.Prefetch, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	l := &Level{
+		cfg:      cfg,
+		levelID:  levelID,
+		sets:     cfg.Sets(),
+		assoc:    cfg.Assoc,
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		lines:    make([]line, cfg.Sets()*cfg.Assoc),
+		lru:      make([]uint8, cfg.Sets()*cfg.Assoc),
+		plru:     make([]uint32, cfg.Sets()),
+		rng:      0x9E3779B97F4A7C15,
+		victim:   make([]line, cfg.VictimEntries),
+		pf:       pf,
+		next:     next,
+	}
+	for i := range l.lru {
+		l.lru[i] = uint8(i % cfg.Assoc)
+	}
+	if cfg.VictimEntries > 0 {
+		l.victimLRU = make([]uint8, cfg.VictimEntries)
+		for i := range l.victimLRU {
+			l.victimLRU[i] = uint8(i)
+		}
+	}
+	return l, nil
+}
+
+// Stats returns accumulated counters.
+func (l *Level) Stats() Stats { return l.stats }
+
+// Config returns the level's configuration.
+func (l *Level) Config() Config { return l.cfg }
+
+func (l *Level) block(addr uint64) uint64 { return addr >> l.lineBits }
+
+// index computes the set index for a block address per the configured hash.
+func (l *Level) index(block uint64) int {
+	switch l.cfg.Hash {
+	case HashXor:
+		b := uint(bits.TrailingZeros(uint(l.sets)))
+		return int((block ^ block>>b ^ block>>(2*b)) % uint64(l.sets))
+	case HashMersenne:
+		m := uint64(l.sets - 1)
+		if m == 0 {
+			return 0
+		}
+		return int(block % m) // one set is sacrificed, as in prime-modulo schemes
+	default:
+		return int(block % uint64(l.sets))
+	}
+}
+
+func (l *Level) xorshift() uint64 {
+	l.rng ^= l.rng << 13
+	l.rng ^= l.rng >> 7
+	l.rng ^= l.rng << 17
+	return l.rng
+}
+
+func (l *Level) touch(set, way int) {
+	switch l.cfg.Repl {
+	case ReplPLRU:
+		// Tree PLRU: flip internal nodes along the path away from `way`.
+		node := 1
+		lo, hi := 0, l.assoc
+		treeBits := l.plru[set]
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if way < mid {
+				treeBits |= 1 << uint(node) // point away (right)
+				node = node * 2
+				hi = mid
+			} else {
+				treeBits &^= 1 << uint(node) // point away (left)
+				node = node*2 + 1
+				lo = mid
+			}
+		}
+		l.plru[set] = treeBits
+	case ReplRandom:
+		// no state
+	default: // LRU
+		base := set * l.assoc
+		old := l.lru[base+way]
+		for w := 0; w < l.assoc; w++ {
+			if l.lru[base+w] < old {
+				l.lru[base+w]++
+			}
+		}
+		l.lru[base+way] = 0
+	}
+}
+
+func (l *Level) victimWay(set int) int {
+	base := set * l.assoc
+	for w := 0; w < l.assoc; w++ {
+		if !l.lines[base+w].valid {
+			return w
+		}
+	}
+	switch l.cfg.Repl {
+	case ReplPLRU:
+		node := 1
+		lo, hi := 0, l.assoc
+		treeBits := l.plru[set]
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if treeBits&(1<<uint(node)) != 0 {
+				node = node*2 + 1
+				lo = mid
+			} else {
+				node = node * 2
+				hi = mid
+			}
+		}
+		return lo
+	case ReplRandom:
+		return int(l.xorshift() % uint64(l.assoc))
+	default:
+		victim := 0
+		for w := 1; w < l.assoc; w++ {
+			if l.lru[base+w] > l.lru[base+victim] {
+				victim = w
+			}
+		}
+		return victim
+	}
+}
+
+func (l *Level) lookup(block uint64) (set, way int, ok bool) {
+	set = l.index(block)
+	base := set * l.assoc
+	for w := 0; w < l.assoc; w++ {
+		if l.lines[base+w].valid && l.lines[base+w].tag == block {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// victimLookup checks the victim buffer; on hit the entry is removed and
+// returned for reinsertion into the main array.
+func (l *Level) victimLookup(block uint64) (line, bool) {
+	for i := range l.victim {
+		if l.victim[i].valid && l.victim[i].tag == block {
+			ln := l.victim[i]
+			l.victim[i].valid = false
+			return ln, true
+		}
+	}
+	return line{}, false
+}
+
+func (l *Level) victimInsert(ln line) {
+	if len(l.victim) == 0 || !ln.valid {
+		return
+	}
+	oldest := 0
+	for i := range l.victim {
+		if !l.victim[i].valid {
+			oldest = i
+			break
+		}
+		if l.victimLRU[i] > l.victimLRU[oldest] {
+			oldest = i
+		}
+	}
+	l.victim[oldest] = ln
+	old := l.victimLRU[oldest]
+	for i := range l.victimLRU {
+		if l.victimLRU[i] < old {
+			l.victimLRU[i]++
+		}
+	}
+	l.victimLRU[oldest] = 0
+}
+
+// portDelay models access-port bandwidth: the (Ports+1)-th access in the
+// same cycle slips to the next cycle.
+func (l *Level) portDelay(now uint64) uint64 {
+	if now != l.portCycle {
+		l.portCycle = now
+		l.portsUsed = 0
+	}
+	l.portsUsed++
+	if l.portsUsed <= l.cfg.Ports {
+		return 0
+	}
+	d := uint64((l.portsUsed - 1) / l.cfg.Ports)
+	l.stats.PortStalls += d
+	return d
+}
+
+// insert places a block, evicting as needed, and returns eviction cost
+// bookkeeping (writebacks are counted, not charged to the demand access).
+func (l *Level) insert(now uint64, pc uint64, block uint64, dirty, prefetched bool) {
+	set := l.index(block)
+	way := l.victimWay(set)
+	base := set * l.assoc
+	old := l.lines[base+way]
+	if old.valid {
+		l.stats.Evictions++
+		if old.dirty && l.cfg.WriteBack {
+			l.stats.Writebacks++
+			l.next.BackAccess(now, pc, old.tag<<l.lineBits, true, true)
+		}
+		l.victimInsert(old)
+	}
+	l.lines[base+way] = line{tag: block, valid: true, dirty: dirty, prefetched: prefetched}
+	l.touch(set, way)
+}
+
+// Probe reports whether addr would hit in this level (including its victim
+// buffer) without changing any state (no LRU update, no stats).
+func (l *Level) Probe(addr uint64) bool {
+	block := l.block(addr)
+	set := l.index(block)
+	base := set * l.assoc
+	for w := 0; w < l.assoc; w++ {
+		if l.lines[base+w].valid && l.lines[base+w].tag == block {
+			return true
+		}
+	}
+	for i := range l.victim {
+		if l.victim[i].valid && l.victim[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access services a demand access and returns its latency and source level.
+func (l *Level) Access(now uint64, pc, addr uint64, write bool) AccessResult {
+	return l.access(now, pc, addr, write, false)
+}
+
+// BackAccess implements Backend so levels can stack.
+func (l *Level) BackAccess(now uint64, pc, addr uint64, write, pf bool) AccessResult {
+	return l.access(now, pc, addr, write, pf)
+}
+
+func (l *Level) access(now uint64, pc, addr uint64, write, pf bool) AccessResult {
+	block := l.block(addr)
+	l.stats.Accesses++
+	if write {
+		l.stats.Writes++
+	} else {
+		l.stats.Reads++
+	}
+	lat := uint64(l.cfg.HitLatency)
+	if l.cfg.TagDataSerial {
+		lat++
+	}
+	lat += l.portDelay(now)
+
+	set, way, hit := l.lookup(block)
+	if hit {
+		l.stats.Hits++
+		base := set * l.assoc
+		ln := &l.lines[base+way]
+		if ln.prefetched {
+			l.stats.PrefetchUseful++
+			ln.prefetched = false
+		}
+		if write {
+			if l.cfg.WriteBack {
+				ln.dirty = true
+			} else {
+				l.next.BackAccess(now+lat, pc, addr, true, true) // write-through traffic
+			}
+		}
+		l.touch(set, way)
+		if !pf {
+			l.runPrefetcher(now, pc, block, false)
+		}
+		return AccessResult{Latency: lat, Level: l.levelID}
+	}
+
+	// Victim buffer probe.
+	if ln, ok := l.victimLookup(block); ok {
+		l.stats.Hits++
+		l.stats.VictimHits++
+		lat++ // extra cycle for the side buffer
+		if write {
+			ln.dirty = ln.dirty || l.cfg.WriteBack
+			if !l.cfg.WriteBack {
+				l.next.BackAccess(now+lat, pc, addr, true, true)
+			}
+		}
+		l.insert(now, pc, block, ln.dirty, false)
+		if !pf {
+			l.runPrefetcher(now, pc, block, false)
+		}
+		return AccessResult{Latency: lat, Level: l.levelID}
+	}
+
+	// Miss.
+	l.stats.Misses++
+	allocate := !write || l.cfg.WriteAllocate
+	res := l.next.BackAccess(now+lat, pc, addr, write && !allocate, pf)
+	total := lat + res.Latency
+	if allocate {
+		l.insert(now, pc, block, write && l.cfg.WriteBack, pf)
+		if write && !l.cfg.WriteBack {
+			l.next.BackAccess(now+total, pc, addr, true, true)
+		}
+	}
+	if !pf {
+		l.runPrefetcher(now, pc, block, true)
+	}
+	return AccessResult{Latency: total, Level: res.Level}
+}
+
+// runPrefetcher trains the prefetcher on a demand access and issues any
+// requested prefetches into this level.
+func (l *Level) runPrefetcher(now uint64, pc, block uint64, miss bool) {
+	if l.inPrefetch {
+		return
+	}
+	targets := l.pf.Observe(pc, block<<l.lineBits, miss)
+	if len(targets) == 0 {
+		return
+	}
+	l.inPrefetch = true
+	defer func() { l.inPrefetch = false }()
+	for _, t := range targets {
+		tb := l.block(t)
+		if _, _, ok := l.lookup(tb); ok {
+			continue
+		}
+		l.stats.PrefetchIssued++
+		l.next.BackAccess(now, pc, t, false, true)
+		l.insert(now, pc, tb, false, true)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"racesim/internal/branch"
+	"racesim/internal/cache"
+	"racesim/internal/isa"
+	"racesim/internal/trace"
+)
+
+// InOrder is the in-order core timing model (Cortex-A53 class): dual-issue
+// with pairing rules, a register scoreboard, blocking-limited hit-under-miss
+// data accesses, a draining store buffer, and a front-end redirected by the
+// branch unit.
+type InOrder struct {
+	cfg  InOrderConfig
+	dc   *decodeCache
+	hier *cache.Hierarchy
+	bu   *branch.Unit
+	cont *contention
+
+	regReady [isa.NumRegs]uint64
+	cycle    uint64
+	issued   int
+	memOps   int
+	branches int
+
+	fetchAvail    uint64
+	lastFetchLine uint64
+	fetchLineBits uint
+
+	mshr   seqRing // outstanding data-cache misses
+	sb     seqRing // store buffer occupancy
+	sbLast uint64  // last drain end (drains are serialized)
+
+	endCycle uint64
+	res      Result
+}
+
+// seqRing models a capacity-limited structure whose entries free at known
+// times: entry n cannot be allocated before entry n-cap has freed.
+type seqRing struct {
+	done  []uint64
+	count uint64
+}
+
+func newSeqRing(capacity int) seqRing { return seqRing{done: make([]uint64, capacity)} }
+
+// wait returns how long an allocation at cycle t must stall for a slot.
+func (r *seqRing) wait(t uint64) uint64 {
+	if r.count < uint64(len(r.done)) {
+		return 0
+	}
+	if prev := r.done[r.count%uint64(len(r.done))]; prev > t {
+		return prev - t
+	}
+	return 0
+}
+
+// note records that the next allocated entry frees at done.
+func (r *seqRing) note(done uint64) {
+	r.done[r.count%uint64(len(r.done))] = done
+	r.count++
+}
+
+// NewInOrder builds the model; cfg must be valid.
+func NewInOrder(cfg InOrderConfig) (*InOrder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	bu, err := branch.NewUnit(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	return &InOrder{
+		cfg:           cfg,
+		dc:            newDecodeCache(cfg.DecoderDepBug),
+		hier:          hier,
+		bu:            bu,
+		cont:          newContention(cfg.Pipes, cfg.Lat),
+		mshr:          newSeqRing(cfg.MSHRs),
+		sb:            newSeqRing(cfg.StoreBufferEntries),
+		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
+		lastFetchLine: ^uint64(0),
+	}, nil
+}
+
+func (m *InOrder) advanceCycle(to uint64) {
+	if to > m.cycle {
+		m.cycle = to
+		m.issued = 0
+		m.memOps = 0
+		m.branches = 0
+	}
+}
+
+// slotFor finds the earliest cycle >= t with a free issue slot compatible
+// with the instruction's class, honouring width and pairing rules, and
+// consumes the slot.
+func (m *InOrder) slotFor(cls isa.Class, t uint64) uint64 {
+	isMem := cls.IsMem()
+	isBr := cls.IsBranch()
+	for {
+		m.advanceCycle(t)
+		switch {
+		case m.issued >= m.cfg.Width:
+			t = m.cycle + 1
+			continue
+		case isMem && m.memOps >= m.cfg.MaxMemPerCycle:
+			t = m.cycle + 1
+			continue
+		case isMem && !m.cfg.DualIssueLoadStore && m.issued > 0:
+			t = m.cycle + 1
+			continue
+		case isBr && m.branches >= m.cfg.MaxBranchPerCycle:
+			t = m.cycle + 1
+			continue
+		}
+		// Structural hazard on the functional unit.
+		if at := m.cont.peek(cls, m.cycle); at > m.cycle {
+			m.cont.stalls += at - m.cycle
+			t = at
+			continue
+		}
+		break
+	}
+	m.cont.reserve(cls, m.cycle)
+	m.issued++
+	if isMem {
+		m.memOps++
+		if !m.cfg.DualIssueLoadStore {
+			m.issued = m.cfg.Width // memory op closes the issue group
+		}
+	}
+	if isBr {
+		m.branches++
+	}
+	return m.cycle
+}
+
+func (m *InOrder) retire(at uint64) {
+	if at > m.endCycle {
+		m.endCycle = at
+	}
+}
+
+// Run implements Model.
+func (m *InOrder) Run(src trace.Source) (Result, error) {
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		in, err := m.dc.decode(ev)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %w", err)
+		}
+		m.step(&in)
+	}
+	m.res.Cycles = m.endCycle
+	if m.res.Cycles == 0 && m.res.Instructions > 0 {
+		m.res.Cycles = m.res.Instructions
+	}
+	m.res.Branch = m.bu.Stats()
+	m.res.Mem = m.hier.Stats()
+	m.res.StallStruct += m.cont.stalls
+	return m.res, nil
+}
+
+func (m *InOrder) step(in *isa.Inst) {
+	m.res.Instructions++
+	m.res.ClassCounts[in.Cls]++
+
+	earliest := m.fetchAvail
+	if m.cycle > earliest {
+		earliest = m.cycle
+	}
+
+	// Instruction fetch: access the I-cache on each new line.
+	line := in.PC >> m.fetchLineBits
+	if line != m.lastFetchLine {
+		fres := m.hier.Fetch(earliest, in.PC)
+		base := uint64(m.cfg.Mem.L1I.HitLatency)
+		if m.cfg.Mem.L1I.TagDataSerial {
+			base++
+		}
+		if fres.Latency > base {
+			stall := fres.Latency - base
+			m.res.StallFrontEnd += stall
+			earliest += stall
+			m.fetchAvail = earliest
+		}
+		m.lastFetchLine = line
+	}
+
+	// Operand readiness (scoreboard).
+	ready := earliest
+	for _, r := range in.Srcs() {
+		if m.regReady[r] > ready {
+			ready = m.regReady[r]
+		}
+	}
+	if ready > earliest {
+		m.res.StallData += ready - earliest
+	}
+
+	issueAt := m.slotFor(in.Cls, ready)
+
+	switch {
+	case in.Cls == isa.ClassLoad:
+		if !m.hier.L1D().Probe(in.MemAddr) {
+			// A miss needs an MSHR; a full file stalls the pipeline
+			// (hit-under-miss is allowed, miss-under-full is not).
+			if d := m.mshr.wait(issueAt); d > 0 {
+				m.res.StallStruct += d
+				issueAt += d
+				m.advanceCycle(issueAt)
+			}
+		}
+		res := m.hier.Load(issueAt, in.PC, in.MemAddr)
+		done := issueAt + res.Latency
+		if res.Level > 1 {
+			m.mshr.note(done)
+		}
+		for _, r := range in.Dsts() {
+			m.regReady[r] = done
+		}
+		m.retire(done)
+
+	case in.Cls == isa.ClassStore:
+		// A full store buffer stalls the pipeline until a slot drains.
+		if d := m.sb.wait(issueAt); d > 0 {
+			m.res.StallStruct += d
+			issueAt += d
+			m.advanceCycle(issueAt)
+		}
+		start := issueAt
+		if m.sbLast > start {
+			start = m.sbLast
+		}
+		res := m.hier.Store(start, in.PC, in.MemAddr)
+		drain := start + res.Latency
+		m.sbLast = drain
+		m.sb.note(drain)
+		// The store retires quickly; the drain happens in the background.
+		m.retire(issueAt + 1)
+
+	case in.Cls.IsBranch():
+		resolve := issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
+		out := m.bu.Access(in)
+		if out.Mispredict {
+			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
+			m.fetchAvail = resolve + pen
+			m.res.StallFrontEnd += pen
+		} else if out.TargetMiss {
+			pen := uint64(m.cfg.FrontEnd.BTBMissPenalty)
+			if m.fetchAvail < issueAt+pen {
+				m.fetchAvail = issueAt + pen
+			}
+			m.res.StallFrontEnd += pen
+		}
+		for _, r := range in.Dsts() { // BL writes the link register
+			m.regReady[r] = resolve
+		}
+		m.retire(resolve)
+
+	default:
+		done := issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
+		for _, r := range in.Dsts() {
+			m.regReady[r] = done
+		}
+		m.retire(done)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"racesim/internal/branch"
+	"racesim/internal/cache"
+	"racesim/internal/isa"
+	"racesim/internal/trace"
+)
+
+// OoO is the out-of-order core timing model (Cortex-A72 class): wide
+// dispatch into a reorder buffer, dataflow-limited issue over the pipe
+// contention model, bounded issue queue, load/store queues, MSHR-limited
+// memory-level parallelism, and in-order retirement. It is a one-pass
+// window model in the spirit of Sniper's instruction-window-centric core.
+type OoO struct {
+	cfg  OoOConfig
+	dc   *decodeCache
+	hier *cache.Hierarchy
+	bu   *branch.Unit
+	cont *contention
+
+	regReady [isa.NumRegs]uint64
+
+	dispatchCycle uint64
+	dispatched    int
+
+	fetchAvail    uint64
+	lastFetchLine uint64
+	fetchLineBits uint
+
+	rob    []uint64 // retire cycle by sequence number mod ROBEntries
+	iq     []uint64 // issue cycle by sequence number mod IQEntries
+	lq     []uint64
+	sq     []uint64
+	seq    uint64 // instruction sequence number
+	loads  uint64
+	stores uint64
+
+	lastRetire   uint64
+	retiredInCyc int
+
+	mshr   seqRing
+	sbLast uint64
+
+	endCycle uint64
+	res      Result
+}
+
+// NewOoO builds the model; cfg must be valid.
+func NewOoO(cfg OoOConfig) (*OoO, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	bu, err := branch.NewUnit(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	return &OoO{
+		cfg:           cfg,
+		dc:            newDecodeCache(cfg.DecoderDepBug),
+		hier:          hier,
+		bu:            bu,
+		cont:          newContention(cfg.Pipes, cfg.Lat),
+		rob:           make([]uint64, cfg.ROBEntries),
+		iq:            make([]uint64, cfg.IQEntries),
+		lq:            make([]uint64, cfg.LQEntries),
+		sq:            make([]uint64, cfg.SQEntries),
+		mshr:          newSeqRing(cfg.MSHRs),
+		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
+		lastFetchLine: ^uint64(0),
+	}, nil
+}
+
+// Run implements Model.
+func (m *OoO) Run(src trace.Source) (Result, error) {
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		in, err := m.dc.decode(ev)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %w", err)
+		}
+		m.step(&in)
+	}
+	m.res.Cycles = m.endCycle
+	if m.res.Cycles == 0 && m.res.Instructions > 0 {
+		m.res.Cycles = m.res.Instructions
+	}
+	m.res.Branch = m.bu.Stats()
+	m.res.Mem = m.hier.Stats()
+	m.res.StallStruct += m.cont.stalls
+	return m.res, nil
+}
+
+// retireSlot assigns an in-order retirement cycle with RetireWidth slots
+// per cycle.
+func (m *OoO) retireSlot(complete uint64) uint64 {
+	t := complete + 1
+	if t < m.lastRetire {
+		t = m.lastRetire
+	}
+	if t == m.lastRetire && m.retiredInCyc >= m.cfg.RetireWidth {
+		t++
+	}
+	if t > m.lastRetire {
+		m.lastRetire = t
+		m.retiredInCyc = 0
+	}
+	m.retiredInCyc++
+	if t > m.endCycle {
+		m.endCycle = t
+	}
+	return t
+}
+
+func (m *OoO) step(in *isa.Inst) {
+	m.res.Instructions++
+	m.res.ClassCounts[in.Cls]++
+	seq := m.seq
+	m.seq++
+
+	// Window constraints: the ROB slot of (seq - ROBEntries) must have
+	// retired; the IQ slot of (seq - IQEntries) must have issued.
+	earliest := m.fetchAvail
+	if r := m.rob[seq%uint64(len(m.rob))]; seq >= uint64(len(m.rob)) && r > earliest {
+		m.res.StallStruct += r - earliest
+		earliest = r
+	}
+	if q := m.iq[seq%uint64(len(m.iq))]; seq >= uint64(len(m.iq)) && q > earliest {
+		m.res.StallStruct += q - earliest
+		earliest = q
+	}
+	if in.Cls == isa.ClassLoad {
+		if l := m.lq[m.loads%uint64(len(m.lq))]; m.loads >= uint64(len(m.lq)) && l > earliest {
+			earliest = l
+		}
+	}
+	if in.Cls == isa.ClassStore {
+		if s := m.sq[m.stores%uint64(len(m.sq))]; m.stores >= uint64(len(m.sq)) && s > earliest {
+			earliest = s
+		}
+	}
+
+	// Instruction fetch.
+	line := in.PC >> m.fetchLineBits
+	if line != m.lastFetchLine {
+		fres := m.hier.Fetch(earliest, in.PC)
+		base := uint64(m.cfg.Mem.L1I.HitLatency)
+		if m.cfg.Mem.L1I.TagDataSerial {
+			base++
+		}
+		if fres.Latency > base {
+			stall := fres.Latency - base
+			m.res.StallFrontEnd += stall
+			earliest += stall
+			if earliest > m.fetchAvail {
+				m.fetchAvail = earliest
+			}
+		}
+		m.lastFetchLine = line
+	}
+
+	// Dispatch slot.
+	if earliest > m.dispatchCycle {
+		m.dispatchCycle = earliest
+		m.dispatched = 0
+	}
+	if m.dispatched >= m.cfg.DispatchWidth {
+		m.dispatchCycle++
+		m.dispatched = 0
+	}
+	dispatchAt := m.dispatchCycle
+	m.dispatched++
+
+	// Dataflow: operands.
+	ready := dispatchAt + 1 // one cycle from rename to earliest issue
+	for _, r := range in.Srcs() {
+		if m.regReady[r] > ready {
+			ready = m.regReady[r]
+		}
+	}
+	if ready > dispatchAt+1 {
+		m.res.StallData += ready - dispatchAt - 1
+	}
+
+	issueAt := m.cont.issue(in.Cls, ready)
+	m.iq[seq%uint64(len(m.iq))] = issueAt
+
+	var complete uint64
+	switch {
+	case in.Cls == isa.ClassLoad:
+		if !m.hier.L1D().Probe(in.MemAddr) {
+			// Misses need an MSHR: issue waits for a free one, which
+			// bounds memory-level parallelism.
+			if d := m.mshr.wait(issueAt); d > 0 {
+				m.res.StallStruct += d
+				issueAt += d
+			}
+		}
+		res := m.hier.Load(issueAt, in.PC, in.MemAddr)
+		complete = issueAt + res.Latency
+		if res.Level > 1 {
+			m.mshr.note(complete)
+		}
+		m.lq[m.loads%uint64(len(m.lq))] = complete
+		m.loads++
+
+	case in.Cls == isa.ClassStore:
+		// Stores commit at retirement; the drain is background but
+		// serialized, and the SQ entry is held until drain completes.
+		start := issueAt
+		if m.sbLast > start {
+			start = m.sbLast
+		}
+		res := m.hier.Store(start, in.PC, in.MemAddr)
+		drain := start + res.Latency
+		m.sbLast = drain
+		if res.Level > 1 {
+			m.mshr.note(drain)
+		}
+		m.sq[m.stores%uint64(len(m.sq))] = drain
+		m.stores++
+		complete = issueAt + 1
+
+	case in.Cls.IsBranch():
+		complete = issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
+		out := m.bu.Access(in)
+		if out.Mispredict {
+			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
+			if complete+pen > m.fetchAvail {
+				m.fetchAvail = complete + pen
+			}
+			m.res.StallFrontEnd += pen
+		} else if out.TargetMiss {
+			pen := uint64(m.cfg.FrontEnd.BTBMissPenalty)
+			if dispatchAt+pen > m.fetchAvail {
+				m.fetchAvail = dispatchAt + pen
+			}
+			m.res.StallFrontEnd += pen
+		}
+
+	default:
+		complete = issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
+	}
+
+	for _, r := range in.Dsts() {
+		m.regReady[r] = complete
+	}
+	m.rob[seq%uint64(len(m.rob))] = m.retireSlot(complete)
+}

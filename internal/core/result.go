@@ -1,0 +1,75 @@
+package core
+
+import (
+	"racesim/internal/branch"
+	"racesim/internal/cache"
+	"racesim/internal/isa"
+	"racesim/internal/trace"
+)
+
+// Result is the outcome of running a trace through a timing model.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	Branch       branch.Stats
+	Mem          cache.HierarchyStats
+	ClassCounts  [isa.NumClasses]uint64
+
+	// Stall breakdown (approximate attribution, in cycles).
+	StallFrontEnd uint64 // branch redirects + I-cache
+	StallData     uint64 // waiting on operands (incl. load misses)
+	StallStruct   uint64 // functional-unit and queue contention
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Model runs traces under a timing configuration.
+type Model interface {
+	// Run replays src from its current position to the end and returns
+	// the accumulated timing result. Callers reset the source.
+	Run(src trace.Source) (Result, error)
+}
+
+// decodeCache memoizes static decode by instruction word: trace replay
+// re-decodes the same hot words millions of times.
+type decodeCache struct {
+	dec   isa.Decoder
+	cache map[uint32]isa.Inst
+}
+
+func newDecodeCache(depBug bool) *decodeCache {
+	return &decodeCache{dec: isa.Decoder{DepBug: depBug}, cache: make(map[uint32]isa.Inst, 1024)}
+}
+
+// decode returns the decoded instruction for a trace event with dynamic
+// fields filled in.
+func (d *decodeCache) decode(ev trace.Event) (isa.Inst, error) {
+	in, ok := d.cache[ev.Word]
+	if !ok {
+		var err error
+		in, err = d.dec.Decode(0, ev.Word)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		d.cache[ev.Word] = in
+	}
+	in.PC = ev.PC
+	in.MemAddr = ev.MemAddr
+	in.Taken = ev.Taken
+	in.Target = ev.Target
+	return in, nil
+}

@@ -1,0 +1,75 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{LatencyCycles: 0, BurstCycles: 6, QueueDepth: 8},
+		{LatencyCycles: 100, BurstCycles: 0, QueueDepth: 8},
+		{LatencyCycles: 100, BurstCycles: 6, QueueDepth: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestIdleLatency(t *testing.T) {
+	d, err := New(Config{LatencyCycles: 150, BurstCycles: 4, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := d.Access(1000, false); lat != 150 {
+		t.Errorf("idle latency = %d, want 150", lat)
+	}
+	if lat := d.Access(5000, true); lat != 150 {
+		t.Errorf("idle write latency = %d, want 150", lat)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	cfg := Config{LatencyCycles: 100, BurstCycles: 10, QueueDepth: 4}
+	d, _ := New(cfg)
+	// Saturating requests at the same cycle: each queues a burst behind
+	// the previous.
+	lats := make([]uint64, 4)
+	for i := range lats {
+		lats[i] = d.Access(0, false)
+	}
+	for i := 1; i < len(lats); i++ {
+		if lats[i] != lats[i-1]+uint64(cfg.BurstCycles) {
+			t.Errorf("request %d latency %d, want %d", i, lats[i], lats[i-1]+uint64(cfg.BurstCycles))
+		}
+	}
+}
+
+// Property: latency is always at least the idle latency and bounded by the
+// queue cap, and queueing statistics never decrease.
+func TestLatencyBoundsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	d, _ := New(cfg)
+	now := uint64(0)
+	f := func(gap uint8, write bool) bool {
+		now += uint64(gap)
+		lat := d.Access(now, write)
+		min := uint64(cfg.LatencyCycles)
+		max := uint64(cfg.LatencyCycles + (cfg.QueueDepth+1)*cfg.BurstCycles)
+		return lat >= min && lat <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

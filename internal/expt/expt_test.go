@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"a", "bench"}}
+	tb.AddRow("1", "longer-name")
+	tb.AddRow("22", "x")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer-name") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("render has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("bar must clamp to width")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Error("negative values render empty")
+	}
+	if Bar(1, 0, 10) == strings.Repeat("#", 11) {
+		t.Error("zero max must not explode")
+	}
+}
+
+func TestTables(t *testing.T) {
+	ctx, err := NewContext(Options{UbenchScale: 0.001, WorkloadEvents: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(t1.Body, "\n")) < 42 {
+		t.Errorf("table1 too short:\n%s", t1.Body)
+	}
+	for _, name := range []string{"MC", "CS3", "STc", "ED1"} {
+		if !strings.Contains(t1.Body, name) {
+			t.Errorf("table1 missing %s", name)
+		}
+	}
+	t2, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mcf", "povray", "xz", "psimplex.c"} {
+		if !strings.Contains(t2.Body, name) {
+			t.Errorf("table2 missing %s", name)
+		}
+	}
+	if got := t2.Render(); !strings.Contains(got, "## table2") {
+		t.Errorf("experiment render missing header:\n%s", got)
+	}
+}

@@ -1,0 +1,277 @@
+package irace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Evaluator supplies the cost function: the performance-prediction error of
+// a simulator configuration on one benchmark instance. Cost must be
+// deterministic for a (configuration, instance) pair; the tuner caches and
+// races on it. Implementations must be safe for concurrent calls.
+type Evaluator interface {
+	// Cost returns the error metric for cfg on instance (lower is
+	// better).
+	Cost(cfg Assignment, instance int) float64
+	// NumInstances returns how many benchmark instances exist.
+	NumInstances() int
+}
+
+// Options tunes the tuner itself. Zero values select defaults.
+type Options struct {
+	// Budget is the maximum number of (configuration, instance)
+	// evaluations; the paper uses up to 100k trials.
+	Budget int
+	// FirstTest is how many instances are seen before the first
+	// statistical elimination (default 5).
+	FirstTest int
+	// Alpha is the elimination significance level (default 0.05).
+	Alpha float64
+	// MinSurvivors stops a race when this many candidates remain
+	// (default 4).
+	MinSurvivors int
+	// Elites carried between iterations (default 4).
+	Elites int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Parallelism bounds concurrent Cost calls (default GOMAXPROCS).
+	Parallelism int
+	// DisableElimination turns off the Friedman-test racing: every
+	// candidate is evaluated on every instance of a race. This is the
+	// ablation arm for measuring what statistical elimination buys.
+	DisableElimination bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 2000
+	}
+	if o.FirstTest <= 0 {
+		o.FirstTest = 5
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.MinSurvivors <= 0 {
+		o.MinSurvivors = 4
+	}
+	if o.Elites <= 0 {
+		o.Elites = 4
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// RaceEvent records the number of surviving configurations after an
+// instance step of a race — the data behind the paper's Figure 2.
+type RaceEvent struct {
+	Iteration int
+	Instance  int
+	Alive     int
+}
+
+// IterationSummary describes one sample-race-update round.
+type IterationSummary struct {
+	Iteration   int
+	Sampled     int
+	Survivors   int
+	BestCost    float64
+	Evaluations int
+}
+
+// Result is the tuner's output.
+type Result struct {
+	Best        Assignment
+	BestCost    float64 // mean cost over all instances
+	Evaluations int
+	Iterations  []IterationSummary
+	RaceTrace   []RaceEvent
+}
+
+// candidate pairs an assignment with its per-instance costs.
+type candidate struct {
+	cfg   Assignment
+	key   string
+	costs []float64 // indexed by instance; NaN = not yet evaluated
+}
+
+// Tuner runs iterated racing over a space against an evaluator.
+type Tuner struct {
+	space *Space
+	eval  Evaluator
+	opt   Options
+	rng   *rand.Rand
+
+	cache map[string][]float64 // key -> per-instance costs
+	used  int
+	trace []RaceEvent
+}
+
+// New builds a tuner.
+func New(space *Space, eval Evaluator, opt Options) (*Tuner, error) {
+	if space == nil || eval == nil {
+		return nil, fmt.Errorf("irace: nil space or evaluator")
+	}
+	if eval.NumInstances() < 2 {
+		return nil, fmt.Errorf("irace: need >= 2 instances, got %d", eval.NumInstances())
+	}
+	o := opt.withDefaults()
+	return &Tuner{
+		space: space,
+		eval:  eval,
+		opt:   o,
+		rng:   rand.New(rand.NewSource(o.Seed)),
+		cache: make(map[string][]float64),
+	}, nil
+}
+
+// Run executes the iterated race and returns the best configuration found.
+func (t *Tuner) Run() (*Result, error) {
+	nParam := len(t.space.Params)
+	iterations := 2 + int(math.Log2(float64(nParam)))
+	res := &Result{}
+
+	var elites []*candidate
+	for j := 1; j <= iterations && t.used < t.opt.Budget; j++ {
+		left := t.opt.Budget - t.used
+		iterBudget := left / (iterations - j + 1)
+		perConfig := t.opt.FirstTest + 4
+		nNew := iterBudget / perConfig
+		if nNew < t.opt.MinSurvivors+2 {
+			nNew = t.opt.MinSurvivors + 2
+		}
+
+		frac := float64(j-1) / float64(iterations)
+		cands := make([]*candidate, 0, nNew+len(elites))
+		cands = append(cands, elites...)
+		seen := map[string]bool{}
+		for _, e := range elites {
+			seen[e.key] = true
+		}
+		for tries := 0; len(cands) < nNew+len(elites) && tries < nNew*20; tries++ {
+			cfg := t.sample(elites, frac)
+			key := cfg.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, t.candidateFor(cfg, key))
+		}
+
+		survivors, err := t.race(j, cands)
+		if err != nil {
+			return nil, err
+		}
+		if len(survivors) == 0 {
+			return nil, fmt.Errorf("irace: race %d eliminated every candidate", j)
+		}
+		nElite := t.opt.Elites
+		if nElite > len(survivors) {
+			nElite = len(survivors)
+		}
+		elites = survivors[:nElite]
+		best := elites[0]
+		res.Iterations = append(res.Iterations, IterationSummary{
+			Iteration:   j,
+			Sampled:     len(cands),
+			Survivors:   len(survivors),
+			BestCost:    t.meanCost(best),
+			Evaluations: t.used,
+		})
+		t.opt.Log("irace: iteration %d/%d: %d candidates, %d survive, best cost %.4f, %d/%d evals",
+			j, iterations, len(cands), len(survivors), t.meanCost(best), t.used, t.opt.Budget)
+	}
+
+	if len(elites) == 0 {
+		return nil, fmt.Errorf("irace: no configuration evaluated (budget %d too small)", t.opt.Budget)
+	}
+	// Finalize: evaluate the best configuration on all instances.
+	best := elites[0]
+	t.completeAll(best)
+	res.Best = best.cfg.Clone()
+	res.BestCost = t.meanCost(best)
+	res.Evaluations = t.used
+	res.RaceTrace = t.trace
+	return res, nil
+}
+
+func (t *Tuner) candidateFor(cfg Assignment, key string) *candidate {
+	costs, ok := t.cache[key]
+	if !ok {
+		costs = make([]float64, t.eval.NumInstances())
+		for i := range costs {
+			costs[i] = math.NaN()
+		}
+		t.cache[key] = costs
+	}
+	return &candidate{cfg: cfg, key: key, costs: costs}
+}
+
+// meanCost averages the evaluated instances of c.
+func (t *Tuner) meanCost(c *candidate) float64 {
+	sum, n := 0.0, 0
+	for _, v := range c.costs {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// completeAll evaluates any remaining instances for c (within budget).
+func (t *Tuner) completeAll(c *candidate) {
+	var missing []int
+	for i, v := range c.costs {
+		if math.IsNaN(v) {
+			missing = append(missing, i)
+		}
+	}
+	t.evalBatch([]*candidate{c}, missing)
+}
+
+// evalBatch evaluates every (candidate, instance) pair that is still NaN,
+// in parallel, and charges the budget.
+func (t *Tuner) evalBatch(cands []*candidate, instances []int) {
+	type job struct {
+		c    *candidate
+		inst int
+	}
+	var jobs []job
+	for _, c := range cands {
+		for _, inst := range instances {
+			if math.IsNaN(c.costs[inst]) {
+				jobs = append(jobs, job{c, inst})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	t.used += len(jobs)
+	sem := make(chan struct{}, t.opt.Parallelism)
+	var wg sync.WaitGroup
+	for _, jb := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(jb job) {
+			defer wg.Done()
+			jb.c.costs[jb.inst] = t.eval.Cost(jb.c.cfg, jb.inst)
+			<-sem
+		}(jb)
+	}
+	wg.Wait()
+}

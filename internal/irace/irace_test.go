@@ -1,0 +1,270 @@
+package irace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+// quadEval is a synthetic tuning problem: cost is the squared distance of
+// the chosen values from a hidden optimum, plus per-instance noise-like
+// variation (deterministic in instance index).
+type quadEval struct {
+	space     *Space
+	optimum   map[string]int // target index per parameter
+	instances int
+	calls     atomic.Int64
+}
+
+func (e *quadEval) NumInstances() int { return e.instances }
+
+func (e *quadEval) Cost(cfg Assignment, instance int) float64 {
+	e.calls.Add(1)
+	cost := 0.0
+	for _, p := range e.space.Params {
+		idx := valueIndex(p, cfg)
+		d := float64(idx - e.optimum[p.Name])
+		w := 1.0 + 0.3*math.Sin(float64(instance)*2.1+float64(len(p.Name)))
+		cost += w * d * d
+	}
+	return cost
+}
+
+func ordinalParam(name string, n int) Param {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = strconv.Itoa(i)
+	}
+	return Param{Name: name, Values: vals, Ordered: true}
+}
+
+func testSpace(t *testing.T, nParams, nValues int) (*Space, *quadEval) {
+	t.Helper()
+	params := make([]Param, nParams)
+	optimum := map[string]int{}
+	for i := range params {
+		params[i] = ordinalParam(fmt.Sprintf("p%02d", i), nValues)
+		optimum[params[i].Name] = (i*3 + 1) % nValues
+	}
+	s, err := NewSpace(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &quadEval{space: s, optimum: optimum, instances: 12}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(nil); err == nil {
+		t.Error("empty space accepted")
+	}
+	if _, err := NewSpace([]Param{{Name: "a"}}); err == nil {
+		t.Error("valueless param accepted")
+	}
+	if _, err := NewSpace([]Param{{Name: "a", Values: []string{"1", "1"}}}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+	if _, err := NewSpace([]Param{
+		{Name: "a", Values: []string{"1"}},
+		{Name: "a", Values: []string{"2"}},
+	}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	s, err := NewSpace([]Param{{Name: "a", Values: []string{"x", "y"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(Assignment{"a": "x"}); err != nil {
+		t.Error(err)
+	}
+	if err := s.Validate(Assignment{"a": "z"}); err == nil {
+		t.Error("invalid value accepted")
+	}
+}
+
+func TestAssignmentKeyCanonical(t *testing.T) {
+	a := Assignment{"b": "2", "a": "1"}
+	b := Assignment{"a": "1", "b": "2"}
+	if a.Key() != b.Key() {
+		t.Error("key not canonical")
+	}
+	c := a.Clone()
+	c["a"] = "9"
+	if a["a"] != "1" {
+		t.Error("Clone did not copy")
+	}
+}
+
+func TestTunerFindsOptimumSmallSpace(t *testing.T) {
+	space, eval := testSpace(t, 4, 8)
+	tuner, err := New(space, eval, Options{Budget: 1500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum has cost 0; the tuner should land very close.
+	if res.BestCost > 3.0 {
+		t.Errorf("best cost %.3f, want near 0", res.BestCost)
+	}
+	// Check each parameter is within 1 step of the hidden optimum.
+	for _, p := range space.Params {
+		got := valueIndex(p, res.Best)
+		want := eval.optimum[p.Name]
+		if d := got - want; d < -1 || d > 1 {
+			t.Errorf("param %s: index %d, optimum %d", p.Name, got, want)
+		}
+	}
+}
+
+func TestTunerRespectsBudget(t *testing.T) {
+	space, eval := testSpace(t, 6, 6)
+	tuner, err := New(space, eval, Options{Budget: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small overshoot is allowed (final race step + completing the best),
+	// but not more than one extra race row.
+	slack := eval.instances + 20
+	if res.Evaluations > 400+slack {
+		t.Errorf("used %d evaluations for budget 400", res.Evaluations)
+	}
+	if int(eval.calls.Load()) != res.Evaluations {
+		t.Errorf("recorded %d evals but evaluator saw %d (cache mismatch)", res.Evaluations, eval.calls.Load())
+	}
+}
+
+func TestTunerBeatsRandomSearch(t *testing.T) {
+	space, eval := testSpace(t, 8, 8)
+	budget := 1200
+	tuner, err := New(space, eval, Options{Budget: budget, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomSearch(space, eval, Options{Budget: budget, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > rnd.BestCost {
+		t.Errorf("irace best %.3f worse than random search %.3f at equal budget", res.BestCost, rnd.BestCost)
+	}
+}
+
+func TestRaceEliminationHappens(t *testing.T) {
+	space, eval := testSpace(t, 5, 8)
+	tuner, err := New(space, eval, Options{Budget: 1200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RaceTrace) == 0 {
+		t.Fatal("no race trace recorded")
+	}
+	// Within some iteration, the alive count must shrink (elimination).
+	shrank := false
+	for i := 1; i < len(res.RaceTrace); i++ {
+		a, b := res.RaceTrace[i-1], res.RaceTrace[i]
+		if a.Iteration == b.Iteration && b.Alive < a.Alive {
+			shrank = true
+			break
+		}
+	}
+	if !shrank {
+		t.Error("no elimination observed in any race")
+	}
+}
+
+func TestTunerDeterministicForSeed(t *testing.T) {
+	space, eval := testSpace(t, 4, 6)
+	run := func() *Result {
+		tu, err := New(space, eval, Options{Budget: 600, Seed: 11, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tu.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := run()
+	// Fresh evaluator to reset the cache path.
+	_, eval2 := testSpace(t, 4, 6)
+	tu, _ := New(space, eval2, Options{Budget: 600, Seed: 11, Parallelism: 4})
+	b, err := tu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Key() != b.Best.Key() {
+		t.Errorf("same seed, different best: %s vs %s", a.Best.Key(), b.Best.Key())
+	}
+}
+
+func TestNewValidatesInputs(t *testing.T) {
+	space, eval := testSpace(t, 3, 4)
+	if _, err := New(nil, eval, Options{}); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := New(space, nil, Options{}); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	one := &quadEval{space: space, optimum: map[string]int{}, instances: 1}
+	if _, err := New(space, one, Options{}); err == nil {
+		t.Error("single-instance evaluator accepted")
+	}
+}
+
+func TestCategoricalParams(t *testing.T) {
+	// Mix ordered and categorical parameters; optimum on specific values.
+	params := []Param{
+		{Name: "kind", Values: []string{"alpha", "beta", "gamma", "delta"}},
+		ordinalParam("size", 10),
+	}
+	s, err := NewSpace(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &catEval{instances: 10}
+	tu, err := New(s, eval, Options{Budget: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tu.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["kind"] != "gamma" {
+		t.Errorf("best kind = %q, want gamma", res.Best["kind"])
+	}
+	if idx, _ := strconv.Atoi(res.Best["size"]); idx < 5 || idx > 9 {
+		t.Errorf("best size = %v, want 7±2", res.Best["size"])
+	}
+}
+
+type catEval struct{ instances int }
+
+func (e *catEval) NumInstances() int { return e.instances }
+
+func (e *catEval) Cost(cfg Assignment, instance int) float64 {
+	c := 0.0
+	if cfg["kind"] != "gamma" {
+		c += 10
+	}
+	size, _ := strconv.Atoi(cfg["size"])
+	d := float64(size - 7)
+	return c + d*d + 0.1*float64(instance%3)
+}

@@ -1,0 +1,72 @@
+package irace
+
+import "math"
+
+// sample draws a new configuration. With no elites it samples uniformly.
+// With elites, it picks a parent (rank-weighted toward the best) and
+// perturbs each parameter: ordered parameters take a discretized normal
+// step around the parent's index whose spread shrinks as the run converges
+// (frac in [0,1]); categorical parameters keep the parent's value with a
+// probability that grows over the run, otherwise resample uniformly.
+func (t *Tuner) sample(elites []*candidate, frac float64) Assignment {
+	cfg := make(Assignment, len(t.space.Params))
+	if len(elites) == 0 {
+		for _, p := range t.space.Params {
+			cfg[p.Name] = p.Values[t.rng.Intn(len(p.Values))]
+		}
+		return cfg
+	}
+	parent := t.pickParent(elites)
+	// Spread decays geometrically from half the range to ~5% of it.
+	spreadFrac := 0.5 * math.Pow(0.1, frac)
+	keepProb := 0.5 + 0.45*frac
+	for _, p := range t.space.Params {
+		pi := valueIndex(p, parent.cfg)
+		if pi < 0 {
+			cfg[p.Name] = p.Values[t.rng.Intn(len(p.Values))]
+			continue
+		}
+		if len(p.Values) == 1 {
+			cfg[p.Name] = p.Values[0]
+			continue
+		}
+		if p.Ordered {
+			sd := spreadFrac * float64(len(p.Values)-1)
+			if sd < 0.3 {
+				sd = 0.3
+			}
+			step := int(math.Round(t.rng.NormFloat64() * sd))
+			idx := pi + step
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(p.Values) {
+				idx = len(p.Values) - 1
+			}
+			cfg[p.Name] = p.Values[idx]
+		} else {
+			if t.rng.Float64() < keepProb {
+				cfg[p.Name] = p.Values[pi]
+			} else {
+				cfg[p.Name] = p.Values[t.rng.Intn(len(p.Values))]
+			}
+		}
+	}
+	return cfg
+}
+
+// pickParent selects an elite with probability proportional to
+// (n - rank + 1), so the incumbent is sampled most often.
+func (t *Tuner) pickParent(elites []*candidate) *candidate {
+	n := len(elites)
+	total := n * (n + 1) / 2
+	r := t.rng.Intn(total)
+	acc := 0
+	for i, e := range elites {
+		acc += n - i
+		if r < acc {
+			return e
+		}
+	}
+	return elites[n-1]
+}

@@ -1,0 +1,191 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded instruction. Static fields come from the decoder;
+// dynamic fields (MemAddr, Taken, Target) are filled in by the functional
+// emulator or the trace reader.
+type Inst struct {
+	PC   uint64
+	Word uint32
+	Op   Op
+	Cls  Class
+
+	// Register dependencies. Only the first NDst/NSrc entries are valid.
+	Dst  [2]Reg
+	Src  [3]Reg
+	NDst uint8
+	NSrc uint8
+
+	Imm     int64 // immediate or branch word offset
+	Cond    Cond  // for BCC
+	MemSize uint8 // bytes, for memory ops
+
+	// Dynamic information.
+	MemAddr uint64 // effective address for memory ops
+	Taken   bool   // branch outcome
+	Target  uint64 // branch target (next PC if taken)
+}
+
+// Dsts returns the valid destination registers.
+func (i *Inst) Dsts() []Reg { return i.Dst[:i.NDst] }
+
+// Srcs returns the valid source registers.
+func (i *Inst) Srcs() []Reg { return i.Src[:i.NSrc] }
+
+// NextPC returns the address of the next instruction given the dynamic
+// outcome recorded in the Inst.
+func (i *Inst) NextPC() uint64 {
+	if i.Cls.IsBranch() && i.Taken {
+		return i.Target
+	}
+	return i.PC + InstSize
+}
+
+// String formats the instruction for debugging.
+func (i *Inst) String() string {
+	return fmt.Sprintf("%#x: %s dst=%v src=%v imm=%d", i.PC, i.Op, i.Dsts(), i.Srcs(), i.Imm)
+}
+
+// Decoder decodes encoded instruction words. The zero value is a correct
+// decoder.
+//
+// DepBug reproduces the decoder-library defect discussed in the paper
+// (Sec. IV-B): when set, the decoder drops the second source operand of
+// three-operand floating-point instructions, so the timing models miss
+// inter-instruction dependencies on FP chains. The functional emulator
+// always uses a correct decoder; the bug only distorts timing, exactly as a
+// disassembler bug in a trace-driven simulator would.
+type Decoder struct {
+	DepBug bool
+}
+
+func (in *Inst) addDst(r Reg) {
+	if r == XZR || r == RegNone {
+		return
+	}
+	in.Dst[in.NDst] = r
+	in.NDst++
+}
+
+func (in *Inst) addSrc(r Reg) {
+	if r == XZR || r == RegNone {
+		return
+	}
+	in.Src[in.NSrc] = r
+	in.NSrc++
+}
+
+// Decode decodes the instruction word at pc.
+func (d Decoder) Decode(pc uint64, word uint32) (Inst, error) {
+	op := Op(word >> opShift)
+	if op >= NumOps {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d at %#x", uint8(op), pc)
+	}
+	in := Inst{PC: pc, Word: word, Op: op, Cls: ClassOf(op), MemSize: MemSizeOf(op)}
+	rd := Reg(word >> rdShift & regMask)
+	rn := Reg(word >> rnShift & regMask)
+	rm := Reg(word >> rmShift & regMask)
+
+	switch op {
+	case OpADD, OpSUB, OpAND, OpORR, OpEOR, OpLSL, OpLSR, OpMUL, OpSDIV:
+		in.addDst(rd)
+		in.addSrc(rn)
+		in.addSrc(rm)
+	case OpCMP:
+		in.addDst(RegFlags)
+		in.addSrc(rn)
+		in.addSrc(rm)
+	case OpADDI, OpSUBI, OpANDI, OpORRI, OpEORI, OpLSLI, OpLSRI:
+		in.addDst(rd)
+		in.addSrc(rn)
+		in.Imm = int64(word & imm16M)
+	case OpCMPI:
+		in.addDst(RegFlags)
+		in.addSrc(rn)
+		in.Imm = int64(word & imm16M)
+	case OpMOVZ:
+		in.addDst(rd)
+		in.Imm = int64(word&imm16M) << (16 * (word >> hwShift & hwMask))
+	case OpMOVK:
+		in.addDst(rd)
+		in.addSrc(rd) // read-modify-write of a halfword
+		in.Imm = int64(word&imm16M) << (16 * (word >> hwShift & hwMask))
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpVADD, OpVMUL:
+		in.addDst(V0 + rd)
+		in.addSrc(V0 + rn)
+		if !d.DepBug {
+			in.addSrc(V0 + rm)
+		}
+	case OpFSQRT, OpFMOV:
+		in.addDst(V0 + rd)
+		in.addSrc(V0 + rn)
+	case OpFCMP:
+		in.addDst(RegFlags)
+		in.addSrc(V0 + rn)
+		if !d.DepBug {
+			in.addSrc(V0 + rm)
+		}
+	case OpFCVTZS:
+		in.addDst(rd)
+		in.addSrc(V0 + rn)
+	case OpSCVTF:
+		in.addDst(V0 + rd)
+		in.addSrc(rn)
+	case OpLDRB, OpLDRW, OpLDRX:
+		in.addDst(rd)
+		in.addSrc(rn)
+		in.Imm = signExtend(word&imm13M, 13)
+	case OpLDRV:
+		in.addDst(V0 + rd)
+		in.addSrc(rn)
+		in.Imm = signExtend(word&imm13M, 13)
+	case OpSTRB, OpSTRW, OpSTRX:
+		in.addSrc(rd) // store data
+		in.addSrc(rn) // base address
+		in.Imm = signExtend(word&imm13M, 13)
+	case OpSTRV:
+		in.addSrc(V0 + rd)
+		in.addSrc(rn)
+		in.Imm = signExtend(word&imm13M, 13)
+	case OpLDRXR:
+		in.addDst(rd)
+		in.addSrc(rn)
+		in.addSrc(rm)
+	case OpSTRXR:
+		in.addSrc(rd)
+		in.addSrc(rn)
+		in.addSrc(rm)
+	case OpB:
+		in.Imm = signExtend(word&imm26M, 26)
+	case OpBL:
+		in.addDst(RegLink)
+		in.Imm = signExtend(word&imm26M, 26)
+	case OpBCC:
+		in.addSrc(RegFlags)
+		in.Cond = Cond(word >> condSh & condMask)
+		in.Imm = signExtend(word&imm22M, 22)
+	case OpCBZ, OpCBNZ:
+		in.addSrc(rd) // register in the rd field position
+		in.Imm = signExtend(word&imm21M, 21)
+	case OpBR:
+		in.addSrc(rd)
+	case OpRET:
+		in.addSrc(RegLink)
+	case OpNOP, OpHALT:
+		// no operands
+	default:
+		return Inst{}, fmt.Errorf("isa: unhandled opcode %v at %#x", op, pc)
+	}
+	return in, nil
+}
+
+// StaticTarget returns the statically known target of a direct branch, or
+// (0, false) for indirect branches and non-branches.
+func (in *Inst) StaticTarget() (uint64, bool) {
+	switch in.Op {
+	case OpB, OpBL, OpBCC, OpCBZ, OpCBNZ:
+		return uint64(int64(in.PC) + in.Imm*InstSize), true
+	}
+	return 0, false
+}

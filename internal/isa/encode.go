@@ -1,0 +1,141 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Every instruction is one little-endian 32-bit word:
+//
+//	bits [31:26] opcode
+//
+// with the remaining 26 bits laid out per group:
+//
+//	R-type   rd[25:21] rn[20:16] rm[15:11]
+//	I-type   rd[25:21] rn[20:16] imm16[15:0]        (MOVZ/MOVK: hw[17:16]*)
+//	F-type   vd[25:21] vn[20:16] vm[15:11]          (register fields index V regs)
+//	M-type   rt[25:21] rn[20:16] simm13[12:0]       (LDRXR/STRXR: rm[15:11])
+//	B/BL     simm26[25:0]                           (word offset)
+//	BCC      cond[25:22] simm22[21:0]               (word offset)
+//	CBZ/CBNZ rn[25:21]   simm21[20:0]               (word offset)
+//	BR/RET   rn[25:21]
+//
+// (*) MOVZ/MOVK place imm16 in [15:0] and the 2-bit halfword selector in
+// [17:16]; they have no rn field.
+//
+// Branch offsets are relative to the branch's own PC, counted in 4-byte
+// words, as in AArch64.
+
+// InstSize is the size of every instruction in bytes.
+const InstSize = 4
+
+const (
+	opShift  = 26
+	rdShift  = 21
+	rnShift  = 16
+	rmShift  = 11
+	regMask  = 0x1F
+	imm16M   = 0xFFFF
+	imm13M   = 0x1FFF
+	imm21M   = 0x1FFFFF
+	imm22M   = 0x3FFFFF
+	imm26M   = 0x3FFFFFF
+	hwShift  = 16
+	hwMask   = 0x3
+	condSh   = 22
+	condMask = 0xF
+)
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+func fitsSigned(v int64, bits uint) bool {
+	min := int64(-1) << (bits - 1)
+	max := -min - 1
+	return v >= min && v <= max
+}
+
+// EncR encodes a register-register instruction (integer R-type, F-type,
+// SIMD, or register-offset memory ops).
+func EncR(op Op, rd, rn, rm Reg) uint32 {
+	return uint32(op)<<opShift |
+		uint32(rd&regMask)<<rdShift |
+		uint32(rn&regMask)<<rnShift |
+		uint32(rm&regMask)<<rmShift
+}
+
+// EncI encodes an integer register-immediate instruction. imm must fit in
+// 16 unsigned bits.
+func EncI(op Op, rd, rn Reg, imm uint16) uint32 {
+	return uint32(op)<<opShift |
+		uint32(rd&regMask)<<rdShift |
+		uint32(rn&regMask)<<rnShift |
+		uint32(imm)
+}
+
+// EncMov encodes MOVZ/MOVK with a halfword selector hw in 0..3.
+func EncMov(op Op, rd Reg, imm uint16, hw int) uint32 {
+	if op != OpMOVZ && op != OpMOVK {
+		panic("isa: EncMov requires MOVZ or MOVK")
+	}
+	if hw < 0 || hw > 3 {
+		panic(fmt.Sprintf("isa: MOV halfword selector %d out of range", hw))
+	}
+	return uint32(op)<<opShift |
+		uint32(rd&regMask)<<rdShift |
+		uint32(hw)<<hwShift |
+		uint32(imm)
+}
+
+// EncMem encodes an immediate-offset memory instruction. off must fit in a
+// signed 13-bit field.
+func EncMem(op Op, rt, rn Reg, off int64) uint32 {
+	if !fitsSigned(off, 13) {
+		panic(fmt.Sprintf("isa: memory offset %d out of 13-bit range", off))
+	}
+	return uint32(op)<<opShift |
+		uint32(rt&regMask)<<rdShift |
+		uint32(rn&regMask)<<rnShift |
+		uint32(off)&imm13M
+}
+
+// EncB encodes B/BL with a signed word offset relative to the branch PC.
+func EncB(op Op, wordOff int64) uint32 {
+	if !fitsSigned(wordOff, 26) {
+		panic(fmt.Sprintf("isa: branch offset %d out of 26-bit range", wordOff))
+	}
+	return uint32(op)<<opShift | uint32(wordOff)&imm26M
+}
+
+// EncBCC encodes a conditional branch with a signed word offset.
+func EncBCC(cond Cond, wordOff int64) uint32 {
+	if !fitsSigned(wordOff, 22) {
+		panic(fmt.Sprintf("isa: bcc offset %d out of 22-bit range", wordOff))
+	}
+	return uint32(OpBCC)<<opShift |
+		uint32(cond&condMask)<<condSh |
+		uint32(wordOff)&imm22M
+}
+
+// EncCB encodes CBZ/CBNZ with a signed word offset.
+func EncCB(op Op, rn Reg, wordOff int64) uint32 {
+	if !fitsSigned(wordOff, 21) {
+		panic(fmt.Sprintf("isa: cbz offset %d out of 21-bit range", wordOff))
+	}
+	return uint32(op)<<opShift |
+		uint32(rn&regMask)<<rdShift |
+		uint32(wordOff)&imm21M
+}
+
+// EncBR encodes BR (indirect branch through rn).
+func EncBR(rn Reg) uint32 {
+	return uint32(OpBR)<<opShift | uint32(rn&regMask)<<rdShift
+}
+
+// EncRET encodes RET.
+func EncRET() uint32 { return uint32(OpRET) << opShift }
+
+// EncNOP encodes NOP.
+func EncNOP() uint32 { return uint32(OpNOP) << opShift }
+
+// EncHALT encodes HALT, which terminates emulation.
+func EncHALT() uint32 { return uint32(OpHALT) << opShift }

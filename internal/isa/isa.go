@@ -1,0 +1,156 @@
+// Package isa defines the AArch64-like instruction set used throughout
+// racesim: register model, instruction classes, a 32-bit binary encoding,
+// and a decoder that extracts the register dependencies the timing models
+// consume.
+//
+// The ISA is a RISC subset shaped after AArch64: 31 general-purpose 64-bit
+// registers plus a zero register, 32 floating-point/SIMD registers, NZCV
+// condition flags, fixed 4-byte instructions, and the usual classes of
+// integer, floating-point, SIMD, memory and control-flow operations. It is
+// the substitute for real AArch64 binaries in the paper's front-end
+// (DynamoRIO + Capstone): micro-benchmarks are assembled to this encoding,
+// executed by the functional emulator, and decoded again on the timing
+// side, exercising the same encode -> trace -> decode pipeline.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register.
+//
+// General-purpose registers are X0..X30 (0..30); XZR (31) reads as zero and
+// discards writes. Floating-point/SIMD registers V0..V31 occupy 32..63.
+// RegFlags (64) models the NZCV condition flags as a single register so the
+// timing models can track flag dependencies. RegLink is an alias for X30.
+type Reg uint8
+
+// Register space layout.
+const (
+	// X0 is the first general-purpose register; X0+i is Xi for i in 0..30.
+	X0 Reg = 0
+	// XZR is the zero register: reads as zero, writes are discarded.
+	XZR Reg = 31
+	// V0 is the first FP/SIMD register; V0+i is Vi for i in 0..31.
+	V0 Reg = 32
+	// RegFlags models the NZCV condition flags as one renameable register.
+	RegFlags Reg = 64
+	// RegLink is the link register (X30) written by BL and read by RET.
+	RegLink Reg = 30
+	// NumRegs is the size of the architectural register space.
+	NumRegs = 65
+	// RegNone marks an unused register slot in a decoded instruction.
+	RegNone Reg = 0xFF
+)
+
+// X returns the general-purpose register Xn.
+func X(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: X%d out of range", n))
+	}
+	return Reg(n)
+}
+
+// V returns the FP/SIMD register Vn.
+func V(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: V%d out of range", n))
+	}
+	return V0 + Reg(n)
+}
+
+// IsVec reports whether r is an FP/SIMD register.
+func (r Reg) IsVec() bool { return r >= V0 && r < V0+32 }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == XZR:
+		return "xzr"
+	case r == RegFlags:
+		return "nzcv"
+	case r == RegNone:
+		return "-"
+	case r < 31:
+		return fmt.Sprintf("x%d", r)
+	case r.IsVec():
+		return fmt.Sprintf("v%d", r-V0)
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Class is the timing class of an instruction. The back-end contention
+// models map classes onto functional units; latencies and issue rules are
+// configured per class.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassIntAlu    Class = iota // integer add/sub/logic/shift/compare/move
+	ClassIntMul                 // integer multiply, multiply-accumulate
+	ClassIntDiv                 // integer divide
+	ClassFPAdd                  // FP add/sub/compare/move
+	ClassFPMul                  // FP multiply, fused multiply-add
+	ClassFPDiv                  // FP divide, square root
+	ClassFPCvt                  // int<->FP conversions
+	ClassSIMD                   // vector integer/FP operations
+	ClassLoad                   // memory loads
+	ClassStore                  // memory stores
+	ClassBranch                 // direct branches (conditional and unconditional)
+	ClassBranchInd              // indirect branches (BR)
+	ClassCall                   // direct calls (BL)
+	ClassRet                    // function returns (RET)
+	ClassNop                    // no-operation, HALT
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"int_alu", "int_mul", "int_div",
+	"fp_add", "fp_mul", "fp_div", "fp_cvt", "simd",
+	"load", "store",
+	"branch", "branch_ind", "call", "ret", "nop",
+}
+
+// String returns the lowercase name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// IsBranch reports whether the class transfers control.
+func (c Class) IsBranch() bool {
+	switch c {
+	case ClassBranch, ClassBranchInd, ClassCall, ClassRet:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// Cond is a condition code for conditional branches, a subset of the
+// AArch64 condition field.
+type Cond uint8
+
+// Condition codes.
+const (
+	CondEQ Cond = iota // Z set
+	CondNE             // Z clear
+	CondLT             // N != V (signed less than)
+	CondGE             // N == V (signed greater or equal)
+	CondGT             // Z clear and N == V
+	CondLE             // Z set or N != V
+	CondAL             // always
+	NumConds
+)
+
+var condNames = [NumConds]string{"eq", "ne", "lt", "ge", "gt", "le", "al"}
+
+// String returns the assembler suffix of the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}

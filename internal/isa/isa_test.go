@@ -1,0 +1,273 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{X(0), "x0"}, {X(30), "x30"}, {XZR, "xzr"},
+		{V(0), "v0"}, {V(31), "v31"}, {RegFlags, "nzcv"}, {RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){func() { X(32) }, func() { V(-1) }, func() { V(32) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClassOfCoversAllOps(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		c := ClassOf(op)
+		if c >= NumClasses {
+			t.Errorf("ClassOf(%v) = %v out of range", op, c)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	if len(OpByName) != int(NumOps) {
+		t.Fatalf("OpByName has %d entries, want %d", len(OpByName), NumOps)
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if got := OpByName[op.String()]; got != op {
+			t.Errorf("OpByName[%q] = %v, want %v", op.String(), got, op)
+		}
+	}
+}
+
+func TestDecodeRType(t *testing.T) {
+	var d Decoder
+	w := EncR(OpADD, X(3), X(4), X(5))
+	in, err := d.Decode(0x1000, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != OpADD || in.Cls != ClassIntAlu {
+		t.Errorf("got op %v class %v", in.Op, in.Cls)
+	}
+	if len(in.Dsts()) != 1 || in.Dsts()[0] != X(3) {
+		t.Errorf("dsts = %v, want [x3]", in.Dsts())
+	}
+	if len(in.Srcs()) != 2 || in.Srcs()[0] != X(4) || in.Srcs()[1] != X(5) {
+		t.Errorf("srcs = %v, want [x4 x5]", in.Srcs())
+	}
+}
+
+func TestDecodeZeroRegisterSuppressed(t *testing.T) {
+	var d Decoder
+	in, err := d.Decode(0, EncR(OpADD, XZR, X(1), XZR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NDst != 0 {
+		t.Errorf("write to xzr should produce no destinations, got %v", in.Dsts())
+	}
+	if len(in.Srcs()) != 1 || in.Srcs()[0] != X(1) {
+		t.Errorf("srcs = %v, want [x1]", in.Srcs())
+	}
+}
+
+func TestDecodeImmediates(t *testing.T) {
+	var d Decoder
+	in, err := d.Decode(0, EncI(OpADDI, X(1), X(2), 4095))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != 4095 {
+		t.Errorf("imm = %d, want 4095", in.Imm)
+	}
+	in, err = d.Decode(0, EncMov(OpMOVZ, X(1), 0xBEEF, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != int64(0xBEEF)<<32 {
+		t.Errorf("movz imm = %#x, want %#x", in.Imm, int64(0xBEEF)<<32)
+	}
+	if in.NSrc != 0 {
+		t.Errorf("movz should have no sources, got %v", in.Srcs())
+	}
+	in, err = d.Decode(0, EncMov(OpMOVK, X(1), 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NSrc != 1 || in.Src[0] != X(1) {
+		t.Errorf("movk should read its destination, got %v", in.Srcs())
+	}
+}
+
+func TestDecodeMemOffsets(t *testing.T) {
+	var d Decoder
+	for _, off := range []int64{-4096, -1, 0, 1, 4095} {
+		in, err := d.Decode(0, EncMem(OpLDRX, X(1), X(2), off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Imm != off {
+			t.Errorf("offset %d decoded as %d", off, in.Imm)
+		}
+		if in.MemSize != 8 {
+			t.Errorf("ldrx size = %d, want 8", in.MemSize)
+		}
+	}
+	in, _ := d.Decode(0, EncMem(OpSTRW, X(7), X(2), 16))
+	if in.NDst != 0 {
+		t.Errorf("store has destinations: %v", in.Dsts())
+	}
+	if len(in.Srcs()) != 2 {
+		t.Errorf("store srcs = %v, want data+base", in.Srcs())
+	}
+}
+
+func TestDecodeBranches(t *testing.T) {
+	var d Decoder
+	in, err := d.Decode(0x100, EncB(OpB, -4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, ok := in.StaticTarget()
+	if !ok || tgt != 0x100-16 {
+		t.Errorf("B target = %#x ok=%v, want %#x", tgt, ok, 0x100-16)
+	}
+	in, _ = d.Decode(0x100, EncBCC(CondNE, 8))
+	if in.Cond != CondNE {
+		t.Errorf("cond = %v, want ne", in.Cond)
+	}
+	if in.NSrc != 1 || in.Src[0] != RegFlags {
+		t.Errorf("bcc should read flags, got %v", in.Srcs())
+	}
+	in, _ = d.Decode(0x100, EncCB(OpCBNZ, X(9), -1))
+	if len(in.Srcs()) != 1 || in.Srcs()[0] != X(9) {
+		t.Errorf("cbnz srcs = %v, want [x9]", in.Srcs())
+	}
+	in, _ = d.Decode(0x100, EncBR(X(17)))
+	if in.Cls != ClassBranchInd {
+		t.Errorf("br class = %v, want branch_ind", in.Cls)
+	}
+	in, _ = d.Decode(0x100, EncRET())
+	if in.Cls != ClassRet || in.Srcs()[0] != RegLink {
+		t.Errorf("ret decode wrong: %v", in)
+	}
+	in, _ = d.Decode(0x100, EncB(OpBL, 4))
+	if in.Dsts()[0] != RegLink {
+		t.Errorf("bl should write link register, got %v", in.Dsts())
+	}
+}
+
+func TestDecoderDepBug(t *testing.T) {
+	good := Decoder{}
+	bad := Decoder{DepBug: true}
+	w := EncR(OpFMUL, V(1), V(2), V(3))
+	gi, _ := good.Decode(0, w)
+	bi, _ := bad.Decode(0, w)
+	if len(gi.Srcs()) != 2 {
+		t.Fatalf("correct decoder: %v srcs, want 2", gi.Srcs())
+	}
+	if len(bi.Srcs()) != 1 {
+		t.Fatalf("buggy decoder: %v srcs, want 1 (dropped second operand)", bi.Srcs())
+	}
+	// Integer ops must be unaffected by the FP dependency bug.
+	w = EncR(OpADD, X(1), X(2), X(3))
+	bi, _ = bad.Decode(0, w)
+	if len(bi.Srcs()) != 2 {
+		t.Errorf("buggy decoder altered integer op srcs: %v", bi.Srcs())
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	var d Decoder
+	if _, err := d.Decode(0, uint32(NumOps)<<26); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+}
+
+// Property: every encodable branch offset round-trips through the decoder.
+func TestBranchOffsetRoundTripProperty(t *testing.T) {
+	var d Decoder
+	f := func(off int32) bool {
+		w := int64(off) % (1 << 20) // keep within CBZ's signed 21-bit field
+		in, err := d.Decode(0x4000, EncCB(OpCBZ, X(1), w))
+		return err == nil && in.Imm == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding never yields more than the declared operand bounds and
+// never emits XZR or RegNone as an operand.
+func TestDecodeOperandInvariantsProperty(t *testing.T) {
+	var d Decoder
+	f := func(word uint32) bool {
+		in, err := d.Decode(0, word)
+		if err != nil {
+			return true // invalid opcodes are allowed to fail
+		}
+		if in.NDst > 2 || in.NSrc > 3 {
+			return false
+		}
+		for _, r := range in.Dsts() {
+			if r == XZR || r == RegNone || int(r) >= NumRegs {
+				return false
+			}
+		}
+		for _, r := range in.Srcs() {
+			if r == XZR || r == RegNone || int(r) >= NumRegs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramFetchAndValidate(t *testing.T) {
+	p := &Program{
+		Entry: 0x1000,
+		Code:  []uint32{EncNOP(), EncR(OpADD, X(1), X(2), X(3)), EncHALT()},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FetchWord(0x1004); err != nil {
+		t.Error(err)
+	}
+	for _, pc := range []uint64{0xFFF, 0x1001, 0x100C} {
+		if _, err := p.FetchWord(pc); err == nil {
+			t.Errorf("FetchWord(%#x) should fail", pc)
+		}
+	}
+	if p.CodeEnd() != 0x100C {
+		t.Errorf("CodeEnd = %#x, want 0x100c", p.CodeEnd())
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	in := Inst{PC: 0x100, Cls: ClassBranch, Taken: true, Target: 0x80}
+	if in.NextPC() != 0x80 {
+		t.Errorf("taken branch NextPC = %#x", in.NextPC())
+	}
+	in.Taken = false
+	if in.NextPC() != 0x104 {
+		t.Errorf("not-taken branch NextPC = %#x", in.NextPC())
+	}
+}

@@ -1,0 +1,151 @@
+package isa
+
+import "fmt"
+
+// Op is an opcode in the 6-bit opcode space of the encoding.
+type Op uint8
+
+// Opcodes. The encoding groups are documented in encode.go.
+const (
+	// Integer register-register (R-type): rd, rn, rm.
+	OpADD Op = iota
+	OpSUB
+	OpAND
+	OpORR
+	OpEOR
+	OpLSL
+	OpLSR
+	OpMUL
+	OpSDIV
+	OpCMP // flags <- rn - rm
+
+	// Integer register-immediate (I-type): rd, rn, imm16.
+	OpADDI
+	OpSUBI
+	OpANDI
+	OpORRI
+	OpEORI
+	OpLSLI
+	OpLSRI
+	OpCMPI // flags <- rn - imm
+	OpMOVZ // rd <- imm16 << (16*hw)
+	OpMOVK // rd[16*hw+:16] <- imm16
+
+	// Floating point (F-type): vd, vn, vm (or two-operand).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFSQRT // vd, vn
+	OpFCMP  // flags <- compare vn, vm
+	OpFMOV  // vd <- vn
+	OpFCVTZS
+	OpSCVTF
+
+	// SIMD (treated as one 64-bit lane pair for functional purposes).
+	OpVADD
+	OpVMUL
+
+	// Memory (M-type): rt, [rn, #imm13] or rt, [rn, rm].
+	OpLDRB
+	OpLDRW
+	OpLDRX
+	OpSTRB
+	OpSTRW
+	OpSTRX
+	OpLDRXR // register offset
+	OpSTRXR
+	OpLDRV // vt, [rn, #imm13]
+	OpSTRV
+
+	// Control flow.
+	OpB    // imm26 word offset
+	OpBL   // imm26 word offset, writes link register
+	OpBCC  // cond, imm22 word offset
+	OpCBZ  // rn, imm21 word offset
+	OpCBNZ // rn, imm21 word offset
+	OpBR   // rn (indirect)
+	OpRET  // returns to link register
+
+	// Miscellaneous.
+	OpNOP
+	OpHALT
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"add", "sub", "and", "orr", "eor", "lsl", "lsr", "mul", "sdiv", "cmp",
+	"addi", "subi", "andi", "orri", "eori", "lsli", "lsri", "cmpi", "movz", "movk",
+	"fadd", "fsub", "fmul", "fdiv", "fsqrt", "fcmp", "fmov", "fcvtzs", "scvtf",
+	"vadd", "vmul",
+	"ldrb", "ldrw", "ldrx", "strb", "strw", "strx", "ldrxr", "strxr", "ldrv", "strv",
+	"b", "bl", "bcc", "cbz", "cbnz", "br", "ret",
+	"nop", "halt",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// OpByName maps assembler mnemonics to opcodes.
+var OpByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// ClassOf returns the timing class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpMUL:
+		return ClassIntMul
+	case OpSDIV:
+		return ClassIntDiv
+	case OpFADD, OpFSUB, OpFCMP, OpFMOV:
+		return ClassFPAdd
+	case OpFMUL:
+		return ClassFPMul
+	case OpFDIV, OpFSQRT:
+		return ClassFPDiv
+	case OpFCVTZS, OpSCVTF:
+		return ClassFPCvt
+	case OpVADD, OpVMUL:
+		return ClassSIMD
+	case OpLDRB, OpLDRW, OpLDRX, OpLDRXR, OpLDRV:
+		return ClassLoad
+	case OpSTRB, OpSTRW, OpSTRX, OpSTRXR, OpSTRV:
+		return ClassStore
+	case OpB, OpBCC, OpCBZ, OpCBNZ:
+		return ClassBranch
+	case OpBR:
+		return ClassBranchInd
+	case OpBL:
+		return ClassCall
+	case OpRET:
+		return ClassRet
+	case OpNOP, OpHALT:
+		return ClassNop
+	default:
+		return ClassIntAlu
+	}
+}
+
+// MemSizeOf returns the access size in bytes for memory opcodes, or 0.
+func MemSizeOf(op Op) uint8 {
+	switch op {
+	case OpLDRB, OpSTRB:
+		return 1
+	case OpLDRW, OpSTRW:
+		return 4
+	case OpLDRX, OpSTRX, OpLDRXR, OpSTRXR, OpLDRV, OpSTRV:
+		return 8
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+package isa
+
+import "fmt"
+
+// Segment is a contiguous range of initialized data memory.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// Program is an executable image: code at Entry plus optional initialized
+// data segments. It is produced by the assembler and by the
+// micro-benchmark generators, and consumed by the functional emulator.
+type Program struct {
+	Entry uint64    // address of the first instruction
+	Code  []uint32  // instruction words, laid out from Entry
+	Data  []Segment // initialized data
+	// Symbols maps label names to addresses, for diagnostics.
+	Symbols map[string]uint64
+}
+
+// CodeEnd returns the first address past the code.
+func (p *Program) CodeEnd() uint64 { return p.Entry + uint64(len(p.Code))*InstSize }
+
+// FetchWord returns the instruction word at pc.
+func (p *Program) FetchWord(pc uint64) (uint32, error) {
+	if pc < p.Entry || pc >= p.CodeEnd() || (pc-p.Entry)%InstSize != 0 {
+		return 0, fmt.Errorf("isa: PC %#x outside code [%#x, %#x)", pc, p.Entry, p.CodeEnd())
+	}
+	return p.Code[(pc-p.Entry)/InstSize], nil
+}
+
+// Validate decodes every word in the program, returning the first error.
+func (p *Program) Validate() error {
+	var d Decoder
+	for i, w := range p.Code {
+		if _, err := d.Decode(p.Entry+uint64(i)*InstSize, w); err != nil {
+			return fmt.Errorf("isa: word %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lmbench
+
+import (
+	"testing"
+
+	"racesim/internal/hw"
+)
+
+func TestEstimateA53(t *testing.T) {
+	p, err := hw.Firefly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(p.A53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := p.A53.TrueConfig()
+	t.Logf("A53 estimates: L1=%d L2=%d mem=%d (truth: %d, %d, %d+)",
+		est.L1Cycles, est.L2Cycles, est.MemCycles,
+		truth.Mem.L1D.HitLatency, truth.Mem.L2.HitLatency, truth.Mem.DRAM.LatencyCycles)
+	if d := est.L1Cycles - truth.Mem.L1D.HitLatency; d < -1 || d > 2 {
+		t.Errorf("L1 estimate %d vs truth %d", est.L1Cycles, truth.Mem.L1D.HitLatency)
+	}
+	// L2 chases see L1 latency + L2 latency (+serial tag penalty).
+	l2Truth := truth.Mem.L1D.HitLatency + truth.Mem.L2.HitLatency
+	if d := est.L2Cycles - l2Truth; d < -4 || d > 8 {
+		t.Errorf("L2 estimate %d vs expected ~%d", est.L2Cycles, l2Truth)
+	}
+	memTruth := truth.Mem.DRAM.LatencyCycles
+	if est.MemCycles < memTruth/2 || est.MemCycles > memTruth*2 {
+		t.Errorf("memory estimate %d vs truth %d", est.MemCycles, memTruth)
+	}
+}
+
+func TestEstimateOrdering(t *testing.T) {
+	p, err := hw.Firefly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*hw.Board{p.A53, p.A72} {
+		est, err := Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(est.L1Cycles < est.L2Cycles && est.L2Cycles < est.MemCycles) {
+			t.Errorf("%s: latencies not ordered: %+v", b.Name, est)
+		}
+	}
+}
+
+func TestSnap(t *testing.T) {
+	vals := []int{9, 12, 15, 18, 21}
+	cases := map[int]int{8: 9, 13: 12, 14: 15, 17: 18, 30: 21}
+	for in, want := range cases {
+		if got := Snap(in, vals); got != want {
+			t.Errorf("Snap(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

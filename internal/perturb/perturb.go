@@ -1,0 +1,215 @@
+// Package perturb implements the paper's "impact of modeling errors" study
+// (Figs. 7–8): starting from the tuned optimum, find the configuration
+// that maximizes CPI error while every ordered parameter stays within a
+// single step of its optimal value. The paper's exhaustive search over all
+// single-step deviations is intractable verbatim (3^64 combinations), so
+// we use greedy coordinate ascent with random restarts, which finds the
+// same kind of worst case: many individually-reasonable one-step mistakes
+// compounding into a badly imbalanced model.
+package perturb
+
+import (
+	"math"
+	"math/rand"
+
+	"racesim/internal/hw"
+	"racesim/internal/irace"
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+)
+
+// Workload pairs an evaluation trace with its board measurement.
+type Workload struct {
+	Name     string
+	Trace    *trace.Trace
+	Counters hw.Counters
+}
+
+// Options tunes the search.
+type Options struct {
+	// Restarts is the number of random single-step starting points
+	// (besides the optimum itself).
+	Restarts int
+	// MaxPasses bounds coordinate-ascent sweeps per restart.
+	MaxPasses int
+	Seed      int64
+	Log       func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts <= 0 {
+		o.Restarts = 2
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 2
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// Result is the worst near-optimum configuration found.
+type Result struct {
+	Config sim.Config
+	// Errors per workload, aligned with the input slice.
+	Errors    []float64
+	MeanError float64
+	// Deviations counts parameters that differ from the optimum.
+	Deviations int
+}
+
+// meanError evaluates a configuration against all workloads.
+func meanError(cfg sim.Config, ws []Workload) ([]float64, float64, error) {
+	errs := make([]float64, len(ws))
+	total := 0.0
+	for i, w := range ws {
+		res, err := cfg.Run(w.Trace)
+		if err != nil {
+			return nil, 0, err
+		}
+		e := math.Abs(res.CPI()-w.Counters.CPI) / w.Counters.CPI
+		errs[i] = e
+		total += e
+	}
+	return errs, total / float64(len(ws)), nil
+}
+
+// neighbors returns the value strings one step away for an ordered
+// parameter (or nothing for categorical parameters, which the study keeps
+// at their optimum).
+func neighbors(d sim.ParamDef, current string) []string {
+	if !d.Ordered {
+		return nil
+	}
+	idx := -1
+	for i, v := range d.Values {
+		if v == current {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	var out []string
+	if idx > 0 {
+		out = append(out, d.Values[idx-1])
+	}
+	if idx+1 < len(d.Values) {
+		out = append(out, d.Values[idx+1])
+	}
+	return out
+}
+
+// WorstNearOptimum searches for the worst configuration within one step of
+// the tuned optimum, evaluated on the given workloads.
+func WorstNearOptimum(tuned sim.Config, ws []Workload, opt Options) (*Result, error) {
+	o := opt.withDefaults()
+	defs := sim.Params(tuned.Kind)
+	optimum := sim.Extract(tuned)
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	apply := func(a irace.Assignment) (sim.Config, bool) {
+		cfg, err := sim.Apply(tuned, a)
+		if err != nil {
+			return sim.Config{}, false
+		}
+		return cfg, true
+	}
+
+	evaluate := func(a irace.Assignment) (float64, bool) {
+		cfg, ok := apply(a)
+		if !ok {
+			return 0, false
+		}
+		_, m, err := meanError(cfg, ws)
+		if err != nil {
+			return 0, false
+		}
+		return m, true
+	}
+
+	best := optimum.Clone()
+	bestErr, ok := evaluate(best)
+	if !ok {
+		_, m, err := meanError(tuned, ws)
+		if err != nil {
+			return nil, err
+		}
+		bestErr = m
+	}
+
+	start := func(r int) irace.Assignment {
+		a := optimum.Clone()
+		if r == 0 {
+			return a
+		}
+		// Random single-step start: perturb each ordered param with
+		// probability 1/2.
+		for _, d := range defs {
+			ns := neighbors(d, a[d.Name])
+			if len(ns) == 0 || rng.Intn(2) == 0 {
+				continue
+			}
+			a[d.Name] = ns[rng.Intn(len(ns))]
+		}
+		return a
+	}
+
+	for r := 0; r <= o.Restarts; r++ {
+		cur := start(r)
+		curErr, ok := evaluate(cur)
+		if !ok {
+			continue
+		}
+		for pass := 0; pass < o.MaxPasses; pass++ {
+			improved := false
+			for _, d := range defs {
+				// Candidate values: optimum value and its one-step
+				// neighbours (the current value is among them).
+				cands := append([]string{optimum[d.Name]}, neighbors(d, optimum[d.Name])...)
+				bestVal := cur[d.Name]
+				for _, v := range cands {
+					if v == cur[d.Name] {
+						continue
+					}
+					trial := cur.Clone()
+					trial[d.Name] = v
+					e, ok := evaluate(trial)
+					if ok && e > curErr {
+						curErr = e
+						bestVal = v
+						improved = true
+					}
+				}
+				cur[d.Name] = bestVal
+			}
+			if !improved {
+				break
+			}
+		}
+		o.Log("perturb: restart %d reached mean error %.1f%%", r, curErr*100)
+		if curErr > bestErr {
+			bestErr = curErr
+			best = cur.Clone()
+		}
+	}
+
+	worstCfg, ok := apply(best)
+	if !ok {
+		worstCfg = tuned
+	}
+	worstCfg.Name = tuned.Name + "-worst1step"
+	errs, mean, err := meanError(worstCfg, ws)
+	if err != nil {
+		return nil, err
+	}
+	dev := 0
+	for _, d := range defs {
+		if best[d.Name] != optimum[d.Name] {
+			dev++
+		}
+	}
+	return &Result{Config: worstCfg, Errors: errs, MeanError: mean, Deviations: dev}, nil
+}

@@ -1,0 +1,77 @@
+package perturb
+
+import (
+	"testing"
+
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/workload"
+)
+
+func workloads(t *testing.T, board *hw.Board, n int) []Workload {
+	t.Helper()
+	var out []Workload
+	for _, p := range workload.Profiles()[:n] {
+		tr, err := workload.Generate(p, workload.Options{Events: 20_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := board.Measure(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Workload{Name: p.Name, Trace: tr, Counters: c})
+	}
+	return out
+}
+
+func TestWorstNearOptimumInflatesError(t *testing.T) {
+	p, err := hw.Firefly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the ground truth as the "tuned optimum": its own error is just
+	// the measurement noise, so single-step deviations must hurt.
+	tuned := p.A53.TrueConfig()
+	ws := workloads(t, p.A53, 4)
+	_, optErr, err := meanError(tuned, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WorstNearOptimum(tuned, ws, Options{Restarts: 1, MaxPasses: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("optimum error %.1f%% -> worst one-step %.1f%% (%d deviations)",
+		optErr*100, res.MeanError*100, res.Deviations)
+	if res.MeanError <= optErr*2 {
+		t.Errorf("one-step worst case %.3f should be well above optimum %.3f", res.MeanError, optErr)
+	}
+	if res.Deviations == 0 {
+		t.Error("worst configuration deviates in zero parameters")
+	}
+	if len(res.Errors) != len(ws) {
+		t.Errorf("%d per-workload errors, want %d", len(res.Errors), len(ws))
+	}
+}
+
+func TestNeighborsRespectBounds(t *testing.T) {
+	defs := sim.Params(sim.InOrder)
+	for _, d := range defs {
+		if !d.Ordered || len(d.Values) < 2 {
+			continue
+		}
+		if ns := neighbors(d, d.Values[0]); len(ns) != 1 || ns[0] != d.Values[1] {
+			t.Errorf("%s: neighbors at low edge = %v", d.Name, ns)
+		}
+		last := len(d.Values) - 1
+		if ns := neighbors(d, d.Values[last]); len(ns) != 1 || ns[0] != d.Values[last-1] {
+			t.Errorf("%s: neighbors at high edge = %v", d.Name, ns)
+		}
+		if len(d.Values) > 2 {
+			if ns := neighbors(d, d.Values[1]); len(ns) != 2 {
+				t.Errorf("%s: interior neighbors = %v", d.Name, ns)
+			}
+		}
+	}
+}

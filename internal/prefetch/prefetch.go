@@ -1,0 +1,300 @@
+// Package prefetch implements the data prefetchers offered to the tuning
+// algorithm: next-line, PC-indexed stride (Fu et al., MICRO 1992) and
+// global history buffer (Nesbit & Smith, HPCA 2004) prefetching, plus the
+// aggressive "spatial" prefetcher that the reference A72 board uses and the
+// public model can only approximate — the deliberate abstraction gap behind
+// the paper's remaining out-of-order model error (povray/x264 outliers).
+package prefetch
+
+import "fmt"
+
+// Kind selects a prefetcher implementation.
+type Kind string
+
+// Prefetcher kinds.
+const (
+	KindNone     Kind = "none"
+	KindNextLine Kind = "next_line"
+	KindStride   Kind = "stride"
+	KindGHB      Kind = "ghb"
+	KindSpatial  Kind = "spatial"
+)
+
+// Kinds lists the prefetcher kinds exposed to the tuner. KindSpatial is
+// intentionally excluded: it models undisclosed hardware behaviour.
+var Kinds = []Kind{KindNone, KindNextLine, KindStride, KindGHB}
+
+// Config configures a prefetcher instance.
+type Config struct {
+	Kind         Kind
+	Degree       int  // lines fetched per trigger
+	Distance     int  // lines ahead of the demand stream
+	TableEntries int  // stride table / GHB index table entries (power of two)
+	GHBEntries   int  // global history buffer depth
+	OnHit        bool // also train/trigger on cache hits (incl. prefetched lines)
+}
+
+// DefaultConfig returns a disabled prefetcher.
+func DefaultConfig() Config {
+	return Config{Kind: KindNone, Degree: 1, Distance: 1, TableEntries: 64, GHBEntries: 256}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case KindNone:
+		return nil
+	case KindNextLine, KindStride, KindGHB, KindSpatial:
+	default:
+		return fmt.Errorf("prefetch: unknown kind %q", c.Kind)
+	}
+	if c.Degree < 1 || c.Degree > 16 {
+		return fmt.Errorf("prefetch: degree %d out of [1,16]", c.Degree)
+	}
+	if c.Distance < 1 || c.Distance > 64 {
+		return fmt.Errorf("prefetch: distance %d out of [1,64]", c.Distance)
+	}
+	if c.Kind == KindStride || c.Kind == KindGHB {
+		if c.TableEntries <= 0 || c.TableEntries&(c.TableEntries-1) != 0 {
+			return fmt.Errorf("prefetch: TableEntries %d must be a power of two", c.TableEntries)
+		}
+	}
+	if c.Kind == KindGHB && c.GHBEntries <= 0 {
+		return fmt.Errorf("prefetch: GHBEntries %d invalid", c.GHBEntries)
+	}
+	return nil
+}
+
+// Prefetcher observes demand accesses and proposes line addresses to
+// prefetch. Addresses are line-aligned.
+type Prefetcher interface {
+	// Observe is called for each demand access with the line-aligned
+	// address, the PC of the load/store, and whether the access missed.
+	// It returns line addresses to prefetch (possibly none).
+	Observe(pc, lineAddr uint64, miss bool) []uint64
+}
+
+// New builds a prefetcher; cfg must be valid. lineSize is in bytes.
+func New(cfg Config, lineSize int) (Prefetcher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ls := uint64(lineSize)
+	switch cfg.Kind {
+	case KindNone:
+		return nonePf{}, nil
+	case KindNextLine:
+		return &nextLine{cfg: cfg, line: ls}, nil
+	case KindStride:
+		return newStride(cfg, ls), nil
+	case KindGHB:
+		return newGHB(cfg, ls), nil
+	case KindSpatial:
+		return newSpatial(cfg, ls), nil
+	}
+	return nil, fmt.Errorf("prefetch: unreachable kind %q", cfg.Kind)
+}
+
+type nonePf struct{}
+
+func (nonePf) Observe(_, _ uint64, _ bool) []uint64 { return nil }
+
+// nextLine prefetches the next Degree lines after each trigger.
+type nextLine struct {
+	cfg  Config
+	line uint64
+}
+
+func (p *nextLine) Observe(_, lineAddr uint64, miss bool) []uint64 {
+	if !miss && !p.cfg.OnHit {
+		return nil
+	}
+	out := make([]uint64, 0, p.cfg.Degree)
+	for d := 1; d <= p.cfg.Degree; d++ {
+		out = append(out, lineAddr+uint64(p.cfg.Distance+d-1)*p.line)
+	}
+	return out
+}
+
+// stride is a PC-indexed stride prefetcher: a reference prediction table
+// keyed by load PC tracking last address, stride, and a 2-bit confidence.
+type stride struct {
+	cfg  Config
+	line uint64
+	mask uint64
+	tags []uint64
+	last []uint64
+	strd []int64
+	conf []uint8
+}
+
+func newStride(cfg Config, line uint64) *stride {
+	n := cfg.TableEntries
+	return &stride{
+		cfg: cfg, line: line, mask: uint64(n - 1),
+		tags: make([]uint64, n), last: make([]uint64, n),
+		strd: make([]int64, n), conf: make([]uint8, n),
+	}
+}
+
+func (p *stride) Observe(pc, lineAddr uint64, miss bool) []uint64 {
+	if !miss && !p.cfg.OnHit {
+		return nil
+	}
+	i := (pc >> 2) & p.mask
+	if p.tags[i] != pc {
+		p.tags[i] = pc
+		p.last[i] = lineAddr
+		p.strd[i] = 0
+		p.conf[i] = 0
+		return nil
+	}
+	s := int64(lineAddr) - int64(p.last[i])
+	p.last[i] = lineAddr
+	if s == 0 {
+		return nil
+	}
+	if s == p.strd[i] {
+		if p.conf[i] < 3 {
+			p.conf[i]++
+		}
+	} else {
+		p.strd[i] = s
+		if p.conf[i] > 0 {
+			p.conf[i]--
+		}
+		return nil
+	}
+	if p.conf[i] < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.cfg.Degree)
+	for d := 0; d < p.cfg.Degree; d++ {
+		a := int64(lineAddr) + s*int64(p.cfg.Distance+d)
+		if a > 0 {
+			out = append(out, uint64(a))
+		}
+	}
+	return out
+}
+
+// ghb is a global history buffer prefetcher (G/DC: global miss history,
+// delta-correlation localized by PC index table).
+type ghb struct {
+	cfg     Config
+	line    uint64
+	mask    uint64
+	index   []int // PC hash -> most recent GHB slot (-1 none)
+	bufAddr []uint64
+	bufPrev []int // previous slot for same PC chain (-1 none)
+	head    int
+	filled  bool
+}
+
+func newGHB(cfg Config, line uint64) *ghb {
+	g := &ghb{
+		cfg: cfg, line: line, mask: uint64(cfg.TableEntries - 1),
+		index:   make([]int, cfg.TableEntries),
+		bufAddr: make([]uint64, cfg.GHBEntries),
+		bufPrev: make([]int, cfg.GHBEntries),
+	}
+	for i := range g.index {
+		g.index[i] = -1
+	}
+	for i := range g.bufPrev {
+		g.bufPrev[i] = -1
+	}
+	return g
+}
+
+// chain walks the per-PC linked list through the GHB, newest first,
+// returning up to n line addresses.
+func (g *ghb) chain(slot, n int) []uint64 {
+	var out []uint64
+	age := 0
+	for slot >= 0 && len(out) < n && age < g.cfg.GHBEntries {
+		out = append(out, g.bufAddr[slot])
+		slot = g.bufPrev[slot]
+		age++
+	}
+	return out
+}
+
+func (g *ghb) Observe(pc, lineAddr uint64, miss bool) []uint64 {
+	if !miss && !g.cfg.OnHit {
+		return nil
+	}
+	i := (pc >> 2) & g.mask
+	prev := g.index[i]
+	slot := g.head
+	g.head = (g.head + 1) % g.cfg.GHBEntries
+	g.bufAddr[slot] = lineAddr
+	// Invalidate index entries that pointed at the overwritten slot by
+	// bounding chain walks with an age check (see chain).
+	g.bufPrev[slot] = prev
+	g.index[i] = slot
+
+	hist := g.chain(slot, 3)
+	if len(hist) < 3 {
+		return nil
+	}
+	d1 := int64(hist[0]) - int64(hist[1])
+	d2 := int64(hist[1]) - int64(hist[2])
+	if d1 != d2 || d1 == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, g.cfg.Degree)
+	for d := 0; d < g.cfg.Degree; d++ {
+		a := int64(lineAddr) + d1*int64(g.cfg.Distance+d)
+		if a > 0 {
+			out = append(out, uint64(a))
+		}
+	}
+	return out
+}
+
+// spatial models an undisclosed region-based prefetcher: on two misses
+// within the same 4 KB region it fetches the region's subsequent lines
+// aggressively. It stands in for the real A72's prefetch behaviour that the
+// public model cannot exactly reproduce.
+type spatial struct {
+	cfg    Config
+	line   uint64
+	recent map[uint64]uint64 // region -> last line seen in region
+}
+
+func newSpatial(cfg Config, line uint64) *spatial {
+	return &spatial{cfg: cfg, line: line, recent: make(map[uint64]uint64)}
+}
+
+func (p *spatial) Observe(_, lineAddr uint64, miss bool) []uint64 {
+	if !miss && !p.cfg.OnHit {
+		return nil
+	}
+	region := lineAddr >> 12
+	last, seen := p.recent[region]
+	p.recent[region] = lineAddr
+	if len(p.recent) > 1024 { // bound state
+		for k := range p.recent {
+			delete(p.recent, k)
+			if len(p.recent) <= 512 {
+				break
+			}
+		}
+	}
+	if !seen || last == lineAddr {
+		return nil
+	}
+	dir := int64(p.line)
+	if lineAddr < last {
+		dir = -dir
+	}
+	out := make([]uint64, 0, p.cfg.Degree*2)
+	for d := 1; d <= p.cfg.Degree*2; d++ {
+		a := int64(lineAddr) + dir*int64(d)
+		if a > 0 && uint64(a)>>12 == region {
+			out = append(out, uint64(a))
+		}
+	}
+	return out
+}

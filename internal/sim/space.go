@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+
+	"racesim/internal/branch"
+	"racesim/internal/cache"
+	"racesim/internal/irace"
+	"racesim/internal/prefetch"
+)
+
+// ParamDef is one tunable simulator parameter: its candidate values, how to
+// read it from a Config and how to write it back. The set of ParamDefs is
+// the "list of unknown parameters" of methodology step 3 — everything the
+// reference manuals do not disclose.
+type ParamDef struct {
+	Name    string
+	Values  []string
+	Ordered bool
+	Get     func(*Config) string
+	Set     func(*Config, string) error
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ints(vs ...int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = itoa(v)
+	}
+	return out
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func intParam(name string, get func(*Config) *int, vs ...int) ParamDef {
+	return ParamDef{
+		Name: name, Values: ints(vs...), Ordered: true,
+		Get: func(c *Config) string { return itoa(*get(c)) },
+		Set: func(c *Config, s string) error {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("sim: %s: %w", name, err)
+			}
+			*get(c) = v
+			return nil
+		},
+	}
+}
+
+func boolParam(name string, get func(*Config) *bool) ParamDef {
+	return ParamDef{
+		Name: name, Values: []string{"false", "true"},
+		Get: func(c *Config) string { return boolStr(*get(c)) },
+		Set: func(c *Config, s string) error {
+			switch s {
+			case "true":
+				*get(c) = true
+			case "false":
+				*get(c) = false
+			default:
+				return fmt.Errorf("sim: %s: bad bool %q", name, s)
+			}
+			return nil
+		},
+	}
+}
+
+func choiceParam(name string, values []string, get func(*Config) string, set func(*Config, string)) ParamDef {
+	return ParamDef{
+		Name: name, Values: values,
+		Get: func(c *Config) string { return get(c) },
+		Set: func(c *Config, s string) error {
+			for _, v := range values {
+				if v == s {
+					set(c, s)
+					return nil
+				}
+			}
+			return fmt.Errorf("sim: %s: bad value %q", name, s)
+		},
+	}
+}
+
+func prefetchParams(prefix string, get func(*Config) *prefetch.Config, kinds []string, degrees, distances, tables []int) []ParamDef {
+	return []ParamDef{
+		choiceParam(prefix+".kind", kinds,
+			func(c *Config) string { return string(get(c).Kind) },
+			func(c *Config, s string) { get(c).Kind = prefetch.Kind(s) }),
+		intParam(prefix+".degree", func(c *Config) *int { return &get(c).Degree }, degrees...),
+		intParam(prefix+".distance", func(c *Config) *int { return &get(c).Distance }, distances...),
+		intParam(prefix+".table", func(c *Config) *int { return &get(c).TableEntries }, tables...),
+		boolParam(prefix+".on_hit", func(c *Config) *bool { return &get(c).OnHit }),
+	}
+}
+
+func cacheParams(prefix string, get func(*Config) *cache.Config, hitLats ...int) []ParamDef {
+	return []ParamDef{
+		intParam(prefix+".hit_latency", func(c *Config) *int { return &get(c).HitLatency }, hitLats...),
+		boolParam(prefix+".tag_data_serial", func(c *Config) *bool { return &get(c).TagDataSerial }),
+		choiceParam(prefix+".hash", []string{"mask", "xor", "mersenne"},
+			func(c *Config) string { return string(get(c).Hash) },
+			func(c *Config, s string) { get(c).Hash = cache.HashKind(s) }),
+		choiceParam(prefix+".repl", []string{"lru", "plru", "random"},
+			func(c *Config) string { return string(get(c).Repl) },
+			func(c *Config, s string) { get(c).Repl = cache.ReplKind(s) }),
+		intParam(prefix+".ports", func(c *Config) *int { return &get(c).Ports }, 1, 2),
+	}
+}
+
+// Params returns the tunable parameter definitions for a core kind.
+func Params(kind CoreKind) []ParamDef {
+	var defs []ParamDef
+	add := func(ps ...ParamDef) { defs = append(defs, ps...) }
+
+	// Branch prediction unit: entirely undisclosed.
+	add(choiceParam("branch.kind",
+		[]string{"static", "bimodal", "gshare", "tournament"},
+		func(c *Config) string { return string(c.Branch.Kind) },
+		func(c *Config, s string) { c.Branch.Kind = branch.Kind(s) }))
+	add(intParam("branch.bimodal_entries", func(c *Config) *int { return &c.Branch.BimodalEntries }, 512, 1024, 2048, 4096, 8192))
+	add(intParam("branch.gshare_entries", func(c *Config) *int { return &c.Branch.GShareEntries }, 512, 1024, 2048, 4096, 8192))
+	add(intParam("branch.history_bits", func(c *Config) *int { return &c.Branch.HistoryBits }, 4, 6, 8, 10, 12))
+	add(intParam("branch.chooser_entries", func(c *Config) *int { return &c.Branch.ChooserEntries }, 512, 1024, 2048, 4096))
+	add(intParam("branch.btb_entries", func(c *Config) *int { return &c.Branch.BTBEntries }, 64, 128, 256, 512, 1024))
+	add(intParam("branch.btb_assoc", func(c *Config) *int { return &c.Branch.BTBAssoc }, 1, 2, 4))
+	add(intParam("branch.ras_entries", func(c *Config) *int { return &c.Branch.RASEntries }, 4, 8, 16, 32))
+	add(boolParam("branch.indirect", func(c *Config) *bool { return &c.Branch.IndirectEnabled }))
+	add(intParam("branch.indirect_entries", func(c *Config) *int { return &c.Branch.IndirectEntries }, 128, 256, 512, 1024))
+	add(intParam("branch.indirect_history", func(c *Config) *int { return &c.Branch.IndirectHistory }, 2, 4, 8))
+	add(intParam("frontend.mispredict_penalty", func(c *Config) *int { return &c.FrontEnd.MispredictPenalty }, 6, 8, 10, 12, 14, 16, 18))
+	add(intParam("frontend.btb_miss_penalty", func(c *Config) *int { return &c.FrontEnd.BTBMissPenalty }, 0, 1, 2, 3, 4))
+
+	// L1 data cache.
+	add(cacheParams("l1d", func(c *Config) *cache.Config { return &c.Mem.L1D }, 2, 3, 4)...)
+	add(intParam("l1d.victim_entries", func(c *Config) *int { return &c.Mem.L1D.VictimEntries }, 0, 2, 4, 8))
+	add(prefetchParams("l1d.prefetch", func(c *Config) *prefetch.Config { return &c.Mem.L1D.Prefetch },
+		[]string{"none", "next_line", "stride", "ghb"}, []int{1, 2, 4}, []int{1, 2, 4, 8}, []int{16, 32, 64, 128})...)
+
+	// L1 instruction cache.
+	add(intParam("l1i.hit_latency", func(c *Config) *int { return &c.Mem.L1I.HitLatency }, 1, 2, 3))
+	add(boolParam("l1i.tag_data_serial", func(c *Config) *bool { return &c.Mem.L1I.TagDataSerial }))
+	add(choiceParam("l1i.prefetch.kind", []string{"none", "next_line"},
+		func(c *Config) string { return string(c.Mem.L1I.Prefetch.Kind) },
+		func(c *Config, s string) { c.Mem.L1I.Prefetch.Kind = prefetch.Kind(s) }))
+	add(intParam("l1i.prefetch.degree", func(c *Config) *int { return &c.Mem.L1I.Prefetch.Degree }, 1, 2))
+
+	// L2 cache.
+	add(cacheParams("l2", func(c *Config) *cache.Config { return &c.Mem.L2 }, 9, 12, 15, 18, 21)...)
+	add(intParam("l2.mshrs", func(c *Config) *int { return &c.Mem.L2.MSHRs }, 4, 8, 12, 16))
+	add(intParam("l2.victim_entries", func(c *Config) *int { return &c.Mem.L2.VictimEntries }, 0, 4, 8))
+	add(prefetchParams("l2.prefetch", func(c *Config) *prefetch.Config { return &c.Mem.L2.Prefetch },
+		[]string{"none", "next_line", "stride", "ghb"}, []int{1, 2, 4, 8}, []int{1, 2, 4, 8, 16}, []int{32, 64, 128, 256})...)
+
+	// TLBs and paging.
+	add(intParam("tlb.itlb_entries", func(c *Config) *int { return &c.Mem.ITLBEntries }, 16, 32, 48, 64))
+	add(intParam("tlb.dtlb_entries", func(c *Config) *int { return &c.Mem.DTLBEntries }, 16, 32, 48, 64))
+	add(intParam("tlb.miss_latency", func(c *Config) *int { return &c.Mem.TLBMissLatency }, 10, 20, 30, 40))
+
+	// Main memory organisation.
+	add(intParam("dram.latency", func(c *Config) *int { return &c.Mem.DRAM.LatencyCycles }, 140, 160, 180, 200, 220, 240))
+	add(intParam("dram.burst", func(c *Config) *int { return &c.Mem.DRAM.BurstCycles }, 4, 6, 8, 12))
+	add(intParam("dram.queue_depth", func(c *Config) *int { return &c.Mem.DRAM.QueueDepth }, 8, 16, 32))
+
+	// Execution latencies and initiation intervals.
+	add(intParam("lat.int_mul", func(c *Config) *int { return &c.Lat.IntMul }, 2, 3, 4, 5))
+	add(intParam("lat.int_div", func(c *Config) *int { return &c.Lat.IntDiv }, 8, 10, 12, 16, 20))
+	add(intParam("lat.int_div_ii", func(c *Config) *int { return &c.Lat.IntDivII }, 1, 4, 8, 12, 16, 20))
+	add(intParam("lat.fp_add", func(c *Config) *int { return &c.Lat.FPAdd }, 3, 4, 5, 6))
+	add(intParam("lat.fp_mul", func(c *Config) *int { return &c.Lat.FPMul }, 3, 4, 5, 6))
+	add(intParam("lat.fp_div", func(c *Config) *int { return &c.Lat.FPDiv }, 10, 14, 18, 22, 26))
+	add(intParam("lat.fp_div_ii", func(c *Config) *int { return &c.Lat.FPDivII }, 1, 4, 10, 18, 26))
+	add(intParam("lat.fp_cvt", func(c *Config) *int { return &c.Lat.FPCvt }, 2, 3, 4, 5))
+	add(intParam("lat.simd", func(c *Config) *int { return &c.Lat.SIMD }, 2, 3, 4, 5))
+
+	// Pipe counts (contention model structure).
+	add(intParam("pipes.int_alu", func(c *Config) *int { return &c.Pipes.IntALU }, 1, 2, 3))
+	add(intParam("pipes.fp", func(c *Config) *int { return &c.Pipes.FP }, 1, 2, 3))
+
+	// Core-structure parameters differ per kind.
+	if kind == InOrder {
+		add(intParam("l1d.mshrs", func(c *Config) *int { return &c.MSHRs }, 1, 2, 3, 4, 6))
+		add(boolParam("core.dual_issue_ls", func(c *Config) *bool { return &c.DualIssueLoadStore }))
+		add(intParam("core.max_mem_per_cycle", func(c *Config) *int { return &c.MaxMemPerCycle }, 1, 2))
+		add(intParam("core.store_buffer", func(c *Config) *int { return &c.StoreBufferEntries }, 2, 4, 6, 8, 12))
+	} else {
+		add(intParam("l1d.mshrs", func(c *Config) *int { return &c.MSHRs }, 2, 4, 6, 8, 12, 16))
+		add(intParam("core.rob", func(c *Config) *int { return &c.ROBEntries }, 64, 96, 128, 160, 192))
+		add(intParam("core.iq", func(c *Config) *int { return &c.IQEntries }, 16, 24, 32, 48, 64))
+		add(intParam("core.lq", func(c *Config) *int { return &c.LQEntries }, 8, 16, 24, 32))
+		add(intParam("core.sq", func(c *Config) *int { return &c.SQEntries }, 8, 16, 24, 32))
+		add(intParam("core.retire_width", func(c *Config) *int { return &c.RetireWidth }, 2, 3, 4))
+		add(intParam("pipes.load", func(c *Config) *int { return &c.Pipes.Load }, 1, 2))
+		add(intParam("pipes.store", func(c *Config) *int { return &c.Pipes.Store }, 1, 2))
+	}
+	return defs
+}
+
+// Space builds the irace search space for a core kind.
+func Space(kind CoreKind) (*irace.Space, error) {
+	defs := Params(kind)
+	params := make([]irace.Param, len(defs))
+	for i, d := range defs {
+		params[i] = irace.Param{Name: d.Name, Values: d.Values, Ordered: d.Ordered}
+	}
+	return irace.NewSpace(params)
+}
+
+// Apply overlays an assignment of tunable parameters onto a base
+// configuration and returns the result.
+func Apply(base Config, a irace.Assignment) (Config, error) {
+	cfg := base
+	for _, d := range Params(base.Kind) {
+		v, ok := a[d.Name]
+		if !ok {
+			continue
+		}
+		if err := d.Set(&cfg, v); err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Extract reads the current values of every tunable parameter from cfg as
+// an assignment (used to express ground truths and perturbation baselines).
+func Extract(cfg Config) irace.Assignment {
+	a := irace.Assignment{}
+	for _, d := range Params(cfg.Kind) {
+		a[d.Name] = d.Get(&cfg)
+	}
+	return a
+}

@@ -1,0 +1,165 @@
+// Package stats provides the statistical machinery behind the iterated
+// racing tuner: rank transforms, the Friedman test used to eliminate
+// inferior configurations, paired t-tests and the Wilcoxon signed-rank test
+// for post-hoc comparisons, and the special functions (incomplete gamma and
+// beta) their p-values require. Implementations follow the standard series
+// and continued-fraction expansions (Numerical Recipes conventions).
+package stats
+
+import (
+	"math"
+)
+
+const (
+	maxIter = 300
+	epsilon = 3e-14
+)
+
+// lnGamma returns the natural log of the gamma function.
+func lnGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// GammaP returns the regularized lower incomplete gamma P(a, x).
+func GammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its series expansion.
+func gammaSeries(a, x float64) float64 {
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*epsilon {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGamma(a))
+}
+
+// gammaCF evaluates Q(a,x) = 1 - P(a,x) by continued fraction.
+func gammaCF(a, x float64) float64 {
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsilon {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGamma(a)) * h
+}
+
+// ChiSquareSF returns the survival function (upper tail p-value) of the
+// chi-squared distribution with df degrees of freedom.
+func ChiSquareSF(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - GammaP(float64(df)/2, x/2)
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b).
+func BetaInc(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	bt := math.Exp(lnGamma(a+b) - lnGamma(a) - lnGamma(b) +
+		a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betaCF(a, b, x) / a
+	}
+	return 1 - bt*betaCF(b, a, 1-x)/b
+}
+
+// betaCF is the continued fraction for BetaInc.
+func betaCF(a, b, x float64) float64 {
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsilon {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTSF returns the two-sided p-value for a t statistic with df
+// degrees of freedom.
+func StudentTSF(t float64, df int) float64 {
+	if df <= 0 {
+		return 1
+	}
+	v := float64(df)
+	return BetaInc(v/2, 0.5, v/(v+t*t))
+}
+
+// NormalCDF returns the standard normal CDF.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

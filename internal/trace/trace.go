@@ -1,0 +1,111 @@
+// Package trace implements the racesim instruction trace format (RIFT), a
+// stand-in for Sniper's SIFT: a compact binary stream of dynamic
+// instruction events recorded once by the front-end (the functional
+// emulator) and replayed many times by the timing back-end.
+//
+// Each event carries the raw instruction word rather than decoded operands:
+// the back-end decodes words itself (through isa.Decoder), so decoder
+// behaviour — including the reproduced dependency-extraction bug — affects
+// timing exactly as it did in the paper's Capstone-based front-end.
+package trace
+
+import (
+	"racesim/internal/emu"
+	"racesim/internal/isa"
+)
+
+// Event is one dynamic instruction: the fetched word plus its dynamic
+// outcome (effective address, branch direction and target).
+type Event struct {
+	PC      uint64
+	Word    uint32
+	MemAddr uint64
+	Target  uint64
+	Taken   bool
+}
+
+// FromInst converts a retired instruction from the emulator into an Event.
+func FromInst(in isa.Inst) Event {
+	return Event{PC: in.PC, Word: in.Word, MemAddr: in.MemAddr, Target: in.Target, Taken: in.Taken}
+}
+
+// Trace is an in-memory recording of a single-threaded execution.
+type Trace struct {
+	Name   string
+	Events []Event
+	// WarmData records that the traced program initialized its data
+	// before the captured region (as SPEC workloads do). Hardware page
+	// optimizations for never-written (zero) pages do not apply to such
+	// traces; see cache.HierarchyConfig.ZeroFillOpt.
+	WarmData bool
+}
+
+// Len returns the number of dynamic instructions in the trace.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Source yields events in program order. Implementations must allow Reset
+// so one recording can drive many timing-model configurations.
+type Source interface {
+	// Next returns the next event. ok is false at end of trace.
+	Next() (ev Event, ok bool)
+	// Reset rewinds the source to the beginning.
+	Reset()
+	// Len returns the total number of events.
+	Len() int
+}
+
+// Cursor is a Source over an in-memory Trace.
+type Cursor struct {
+	t   *Trace
+	pos int
+}
+
+// NewCursor returns a Source reading t from the beginning.
+func NewCursor(t *Trace) *Cursor { return &Cursor{t: t} }
+
+// Next implements Source.
+func (c *Cursor) Next() (Event, bool) {
+	if c.pos >= len(c.t.Events) {
+		return Event{}, false
+	}
+	ev := c.t.Events[c.pos]
+	c.pos++
+	return ev, true
+}
+
+// Reset implements Source.
+func (c *Cursor) Reset() { c.pos = 0 }
+
+// Len implements Source.
+func (c *Cursor) Len() int { return len(c.t.Events) }
+
+// Record executes prog on the functional emulator for at most maxInst
+// instructions and returns the recorded trace. A program that exhausts the
+// budget (rather than halting) still yields a valid trace.
+func Record(name string, prog *isa.Program, maxInst uint64) (*Trace, error) {
+	m := emu.New(prog)
+	t := &Trace{Name: name, Events: make([]Event, 0, 1024)}
+	err := m.Run(maxInst, func(in isa.Inst) {
+		t.Events = append(t.Events, FromInst(in))
+	})
+	if err != nil && err != emu.ErrMaxInstructions {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ClassMix counts dynamic instructions per timing class, using a correct
+// decoder. Invalid words are counted under ClassNop.
+func (t *Trace) ClassMix() [isa.NumClasses]int {
+	var mix [isa.NumClasses]int
+	var d isa.Decoder
+	for _, ev := range t.Events {
+		in, err := d.Decode(ev.PC, ev.Word)
+		if err != nil {
+			mix[isa.ClassNop]++
+			continue
+		}
+		mix[in.Cls]++
+	}
+	return mix
+}

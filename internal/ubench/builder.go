@@ -1,0 +1,77 @@
+package ubench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// program stitches a standard benchmark skeleton: setup code, then a main
+// loop whose body is repeated until the dynamic instruction target is met.
+//
+// Register conventions: x28 is the loop counter, x27/x26/x25 are init-loop
+// scratch, x20..x24 benchmark bases, x1..x15 body scratch.
+func program(setup, body string, perIter int, target uint64) string {
+	iters := target / uint64(perIter+2) // +2: subi/cbnz loop overhead
+	if iters < 8 {
+		iters = 8
+	}
+	var b strings.Builder
+	b.WriteString(".org 0x1000\n")
+	b.WriteString(setup)
+	fmt.Fprintf(&b, "la x28, %d\n", iters)
+	b.WriteString("bench_loop:\n")
+	b.WriteString(body)
+	b.WriteString("subi x28, x28, #1\ncbnz x28, bench_loop\nhalt\n")
+	return b.String()
+}
+
+var initSeq int
+
+// initRegion emits a store loop writing one word per line over
+// [addr, addr+bytes), leaving x27/x26/x25 clobbered.
+func initRegion(addr string, bytes int) string {
+	initSeq++
+	label := fmt.Sprintf("init_%d", initSeq)
+	lines := bytes / 64
+	return fmt.Sprintf(`la x27, %s
+la x26, %d
+movz x25, #1
+%s:
+strx x25, [x27, #0]
+addi x27, x27, #64
+subi x26, x26, #1
+cbnz x26, %s
+`, addr, lines, label, label)
+}
+
+// chainRegion emits a loop writing a sequential pointer chain with the
+// given stride over [addr, addr+bytes): mem[addr+i*stride] = addr +
+// ((i+1)*stride mod bytes).
+func chainRegion(addr string, bytes, stride int) string {
+	initSeq++
+	label := fmt.Sprintf("chain_%d", initSeq)
+	n := bytes / stride
+	return fmt.Sprintf(`la x27, %s
+la x26, %d
+la x25, %s+%d
+%s:
+strx x25, [x27, #0]
+addi x25, x25, #%d
+addi x27, x27, #%d
+subi x26, x26, #1
+cbnz x26, %s
+// last node points back to the head
+la x27, %s+%d
+la x25, %s
+strx x25, [x27, #0]
+`, addr, n-1, addr, stride, label, stride, stride, label, addr, (n-1)*stride, addr)
+}
+
+// lcgStep emits an LCG advance of reg using scratch, leaving a
+// pseudo-random value in reg. Constants follow a 16-bit-friendly mixed
+// congruential generator.
+func lcgStep(reg, scratch string) string {
+	return fmt.Sprintf(`mul %s, %s, %s
+addi %s, %s, #12345
+`, reg, reg, scratch, reg, reg)
+}

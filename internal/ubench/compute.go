@@ -1,0 +1,219 @@
+package ubench
+
+import "fmt"
+
+// Data-parallel, execution and store-intensive benchmarks (Table I).
+
+func init() {
+	register(Bench{
+		Name: "DP1d", Category: CatDataParallel, PaperInstructions: 5_200_000,
+		Description: "double-precision multiply-add streams over arrays",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ A, %#x\n.equ B, %#x\n", l1Buf, l1Buf+0x2000) +
+				initRegion("A", 4096) + initRegion("B", 4096) +
+				"la x20, A\nla x19, B\nmovz x21, #0\n"
+			body := `add x22, x20, x21
+add x23, x19, x21
+ldrv v1, [x22, #0]
+ldrv v2, [x23, #0]
+fmul v3, v1, v2
+fadd v4, v4, v3
+strv v4, [x22, #0]
+addi x21, x21, #8
+andi x21, x21, #0xFF8
+`
+			return program(setup, body, 9, target)
+		},
+	})
+
+	register(Bench{
+		Name: "DP1f", Category: CatDataParallel, PaperInstructions: 5_200_000,
+		Description: "single-precision style add/sub streams over arrays",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ A, %#x\n", l1Buf+0x4000) +
+				initRegion("A", 4096) +
+				"la x20, A\nmovz x21, #0\n"
+			body := `add x22, x20, x21
+ldrv v1, [x22, #0]
+fadd v2, v2, v1
+fsub v3, v2, v1
+strv v3, [x22, #0]
+addi x21, x21, #8
+andi x21, x21, #0xFF8
+`
+			return program(setup, body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "DPcvt", Category: CatDataParallel, PaperInstructions: 36_700_000,
+		Description: "int-float conversion chains",
+		build: func(o Options, target uint64) string {
+			setup := "movz x1, #100\n"
+			body := `scvtf v1, x1
+fcvtzs x2, v1
+scvtf v2, x2
+fcvtzs x1, v2
+addi x1, x1, #1
+`
+			return program(setup, body, 5, target)
+		},
+	})
+
+	register(Bench{
+		Name: "DPT", Category: CatDataParallel, PaperInstructions: 542_000,
+		Description: "triad with temporal reuse on a small buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ A, %#x\n", l1Buf+0x6000) +
+				initRegion("A", 2048) +
+				"la x20, A\nmovz x21, #0\nmovz x3, #3\nscvtf v5, x3\n"
+			body := `add x22, x20, x21
+ldrv v1, [x22, #0]
+fmul v2, v1, v5
+fadd v3, v2, v1
+strv v3, [x22, #0]
+addi x21, x21, #8
+andi x21, x21, #0x7F8
+`
+			return program(setup, body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "DPTd", Category: CatDataParallel, PaperInstructions: 1_180_000,
+		Description: "triad with a loop-carried floating-point dependency",
+		build: func(o Options, target uint64) string {
+			setup := "movz x3, #3\nscvtf v5, x3\nmovz x4, #1\nscvtf v1, x4\n"
+			body := `fmul v2, v1, v5
+fadd v1, v2, v1
+fdiv v1, v1, v5
+`
+			return program(setup, body, 3, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ED1", Category: CatExecution, PaperInstructions: 164_000,
+		Description: "serial integer dependency chain (each op depends on the last)",
+		build: func(o Options, target uint64) string {
+			body := `addi x1, x1, #1
+addi x1, x1, #2
+addi x1, x1, #3
+addi x1, x1, #4
+addi x1, x1, #5
+addi x1, x1, #6
+addi x1, x1, #7
+addi x1, x1, #8
+`
+			return program("", body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "EF", Category: CatExecution, PaperInstructions: 451_000,
+		Description: "dependent floating-point multiply/add/divide chain",
+		build: func(o Options, target uint64) string {
+			setup := "movz x3, #3\nscvtf v2, x3\nmovz x4, #7\nscvtf v1, x4\n"
+			body := `fmul v1, v2, v1
+fadd v1, v2, v1
+fdiv v1, v1, v2
+fadd v1, v2, v1
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "EI", Category: CatExecution, PaperInstructions: 5_240_000,
+		Description: "independent integer operations (high ILP)",
+		build: func(o Options, target uint64) string {
+			body := `addi x1, x1, #1
+addi x2, x2, #1
+addi x3, x3, #1
+addi x4, x4, #1
+addi x5, x5, #1
+addi x6, x6, #1
+addi x7, x7, #1
+addi x8, x8, #1
+`
+			return program("", body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "EM1", Category: CatExecution, PaperInstructions: 65_000,
+		Description: "dependent integer multiply chain",
+		build: func(o Options, target uint64) string {
+			setup := "movz x1, #3\nmovz x2, #5\n"
+			body := `mul x1, x1, x2
+mul x1, x1, x2
+mul x1, x1, x2
+mul x1, x1, x2
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "EM5", Category: CatExecution, PaperInstructions: 328_000,
+		Description: "five interleaved independent multiply chains",
+		build: func(o Options, target uint64) string {
+			setup := "movz x1, #3\nmovz x2, #3\nmovz x3, #3\nmovz x4, #3\nmovz x5, #3\nmovz x6, #5\n"
+			body := `mul x1, x1, x6
+mul x2, x2, x6
+mul x3, x3, x6
+mul x4, x4, x6
+mul x5, x5, x6
+`
+			return program(setup, body, 5, target)
+		},
+	})
+
+	register(Bench{
+		Name: "STL2", Category: CatStore, PaperInstructions: 4_000,
+		Description: "streaming stores over an L2-resident buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\nmovz x2, #3\n", 128*1024-1)
+			body := `add x22, x20, x21
+strx x2, [x22, #0]
+strx x2, [x22, #64]
+strx x2, [x22, #128]
+strx x2, [x22, #192]
+addi x21, x21, #256
+and x21, x21, x24
+`
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "STL2b", Category: CatStore, PaperInstructions: 1_120_000,
+		Description: "stores alternating between two L2-resident regions",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUFA, %#x\n.equ BUFB, %#x\n", l2Buf, l2Buf+0x10000) +
+				fmt.Sprintf("la x20, BUFA\nla x19, BUFB\nmovz x21, #0\nla x24, %d\nmovz x2, #3\n", 64*1024-1)
+			body := `strxr x2, [x20, x21]
+strxr x2, [x19, x21]
+addi x21, x21, #64
+and x21, x21, x24
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "STc", Category: CatStore, PaperInstructions: 400_000,
+		Description: "store-to-load forwarding chains on one address",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l1Buf+0xA000) +
+				initRegion("BUF", 64) +
+				"la x20, BUF\n"
+			body := `strx x1, [x20, #0]
+ldrx x1, [x20, #0]
+addi x1, x1, #1
+`
+			return program(setup, body, 3, target)
+		},
+	})
+}

@@ -1,0 +1,239 @@
+package ubench
+
+import "fmt"
+
+// Control-flow benchmarks (Table I, "Control Flow"): easy and biased
+// branches, random data-dependent flow, call/return chains, and the case
+// statements whose indirect branches exposed the missing indirect-predictor
+// model in the paper's validation (CS1, CS3).
+
+func init() {
+	register(Bench{
+		Name: "CCa", Category: CatControl, PaperInstructions: 82_000,
+		Description: "always-taken forward conditional branches",
+		build: func(o Options, target uint64) string {
+			setup := "movz x1, #0\n"
+			body := `cmpi x1, #1
+b.lt cca_t1
+addi x2, x2, #1
+cca_t1:
+cmpi x1, #2
+b.lt cca_t2
+addi x2, x2, #1
+cca_t2:
+`
+			return program(setup, body, 6, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CCe", Category: CatControl, PaperInstructions: 657_000,
+		Description: "easy periodic branch pattern (alternating taken/not-taken)",
+		build: func(o Options, target uint64) string {
+			setup := ""
+			body := `andi x1, x28, #1
+cbnz x1, cce_skip
+addi x2, x2, #1
+cce_skip:
+addi x3, x3, #1
+`
+			return program(setup, body, 5, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CCh", Category: CatControl, PaperInstructions: 2_600_000,
+		Description: "hard-to-predict branches on pseudo-random data",
+		build: func(o Options, target uint64) string {
+			setup := "movz x10, #52361\nmovz x11, #25173\n"
+			body := lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #1
+cbnz x1, cch_skip
+addi x2, x2, #1
+cch_skip:
+`
+			return program(setup, body, 6, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CCh_st", Category: CatControl, PaperInstructions: 157_000,
+		Description: "hard-to-predict branches with a store on one path",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l1Buf) +
+				initRegion("BUF", 4096) +
+				"la x20, BUF\nmovz x10, #52361\nmovz x11, #25173\n"
+			body := lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #1
+cbnz x1, cchst_skip
+strx x10, [x20, #0]
+cchst_skip:
+addi x2, x2, #1
+`
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CCl", Category: CatControl, PaperInstructions: 1_380_000,
+		Description: "short nested loops stressing loop-exit prediction",
+		build: func(o Options, target uint64) string {
+			setup := ""
+			body := `movz x1, #4
+ccl_inner:
+addi x2, x2, #1
+subi x1, x1, #1
+cbnz x1, ccl_inner
+`
+			return program(setup, body, 13, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CCm", Category: CatControl, PaperInstructions: 656_000,
+		Description: "biased branches taken about 7 of 8 times",
+		build: func(o Options, target uint64) string {
+			setup := "movz x10, #52361\nmovz x11, #25173\n"
+			body := lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #7
+cbnz x1, ccm_skip
+addi x2, x2, #1
+ccm_skip:
+`
+			return program(setup, body, 6, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CF1", Category: CatControl, PaperInstructions: 1_270_000,
+		Description: "dense call/return chains through small leaf functions",
+		build: func(o Options, target uint64) string {
+			// Functions are placed after the benchmark loop; program()
+			// appends halt before these labels are emitted, so lay the
+			// functions out via a jump-over pattern inside the body.
+			setup := "b cf1_entry\n" +
+				"cf1_fn1:\naddi x2, x2, #1\nret\n" +
+				"cf1_fn2:\naddi x3, x3, #1\nret\n" +
+				"cf1_entry:\n"
+			body := `bl cf1_fn1
+bl cf1_fn2
+bl cf1_fn1
+`
+			return program(setup, body, 9, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CRd", Category: CatControl, PaperInstructions: 599_000,
+		Description: "branches depending on loaded pseudo-random data",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l1Buf) +
+				initRegion("BUF", 4096) +
+				"la x20, BUF\nmovz x10, #52361\nmovz x11, #25173\n" +
+				// Fill the table with random words.
+				"la x26, 64\ncrd_fill:\n" + lcgStep("x10", "x11") +
+				"andi x21, x10, #0xFC0\nstrxr x10, [x20, x21]\nsubi x26, x26, #1\ncbnz x26, crd_fill\n"
+			body := lcgStep("x10", "x11") + `andi x21, x10, #0xFC0
+ldrxr x1, [x20, x21]
+andi x1, x1, #1
+cbnz x1, crd_skip
+addi x2, x2, #1
+crd_skip:
+`
+			return program(setup, body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CRf", Category: CatControl, PaperInstructions: 133_000,
+		Description: "branches on floating-point comparisons of random values",
+		build: func(o Options, target uint64) string {
+			setup := "movz x10, #52361\nmovz x11, #25173\nmovz x3, #512\nscvtf v2, x3\n"
+			body := lcgStep("x10", "x11") + `andi x1, x10, #1023
+scvtf v1, x1
+fcmp v1, v2
+b.lt crf_skip
+addi x2, x2, #1
+crf_skip:
+`
+			return program(setup, body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CRm", Category: CatControl, PaperInstructions: 399_000,
+		Description: "two correlated random branches per iteration",
+		build: func(o Options, target uint64) string {
+			setup := "movz x10, #52361\nmovz x11, #25173\n"
+			body := lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #1
+cbnz x1, crm_a
+addi x2, x2, #1
+crm_a:
+cbz x1, crm_b
+addi x3, x3, #1
+crm_b:
+`
+			return program(setup, body, 8, target)
+		},
+	})
+
+	register(Bench{
+		Name: "CS1", Category: CatControl, PaperInstructions: 58_000,
+		Description: "case statement: indirect branch through a 4-entry jump table",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ TAB, %#x\n", l1Buf+0x8000) +
+				"movz x10, #52361\nmovz x11, #25173\nla x20, TAB\n"
+			body := lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #3
+lsli x1, x1, #3
+ldrxr x2, [x20, x1]
+br x2
+cs1_c0:
+addi x2, x2, #1
+b cs1_done
+cs1_c1:
+addi x3, x3, #1
+b cs1_done
+cs1_c2:
+addi x4, x4, #1
+b cs1_done
+cs1_c3:
+addi x5, x5, #1
+cs1_done:
+`
+			src := program(setup, body, 10, target)
+			src += `
+.data TAB
+.quad cs1_c0
+.quad cs1_c1
+.quad cs1_c2
+.quad cs1_c3
+`
+			return src
+		},
+	})
+
+	register(Bench{
+		Name: "CS3", Category: CatControl, PaperInstructions: 34_500_000,
+		Description: "case statement: indirect branch through a 16-entry jump table",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ TAB, %#x\n", l1Buf+0x9000) +
+				"movz x10, #52361\nmovz x11, #25173\nla x20, TAB\n"
+			var body, data string
+			body = lcgStep("x10", "x11") + `lsri x1, x10, #9
+andi x1, x1, #15
+lsli x1, x1, #3
+ldrxr x2, [x20, x1]
+br x2
+`
+			data = "\n.data TAB\n"
+			for i := 0; i < 16; i++ {
+				body += fmt.Sprintf("cs3_c%d:\naddi x%d, x%d, #1\nb cs3_done\n", i, 2+i%6, 2+i%6)
+				data += fmt.Sprintf(".quad cs3_c%d\n", i)
+			}
+			body += "cs3_done:\n"
+			return program(setup, body, 12, target) + data
+		},
+	})
+}

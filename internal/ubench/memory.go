@@ -1,0 +1,289 @@
+package ubench
+
+import "fmt"
+
+// Memory-hierarchy benchmarks (Table I, "Memory Hierarchy"). Buffer bases
+// are spread out so benchmarks are self-contained.
+const (
+	l1Buf       = 0x0100000 // 8 KB region, L1-resident
+	conflictBuf = 0x0200000 // 64 KB region for set-conflict strides
+	l2Buf       = 0x0400000 // 128 KB region, L2-resident
+	bigBuf      = 0x1000000 // 2 MB region, DRAM-resident
+	bigBuf2     = 0x1800000 // second large region
+)
+
+func init() {
+	register(Bench{
+		Name: "MC", Category: CatMemory, PaperInstructions: 1_800_000,
+		Description: "loads cycling 8 lines at the L1 set-conflict stride (conflict misses)",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", conflictBuf) +
+				initRegion("BUF", 64*1024) +
+				"la x20, BUF\nmovz x21, #0\n"
+			body := `ldrxr x1, [x20, x21]
+addi x21, x21, #8192
+andi x21, x21, #0xFFFF
+`
+			return program(setup, body, 3, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MCS", Category: CatMemory, PaperInstructions: 115_000,
+		Description: "conflict-stride loads interleaved with stores",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", conflictBuf) +
+				initRegion("BUF", 64*1024) +
+				"la x20, BUF\nmovz x21, #0\nmovz x2, #7\n"
+			body := `ldrxr x1, [x20, x21]
+strxr x2, [x20, x21]
+addi x21, x21, #8192
+andi x21, x21, #0xFFFF
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MD", Category: CatMemory, PaperInstructions: 33_000,
+		Description: "dependent pointer chase inside the L1 data cache",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l1Buf) +
+				chainRegion("BUF", 8*1024, 64) +
+				"la x20, BUF\n"
+			body := `ldrx x20, [x20, #0]
+ldrx x20, [x20, #0]
+ldrx x20, [x20, #0]
+ldrx x20, [x20, #0]
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MI", Category: CatMemory, PaperInstructions: 22_000_000,
+		Description: "independent loads over an L1-resident buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l1Buf) +
+				initRegion("BUF", 8*1024) +
+				"la x20, BUF\nmovz x21, #0\n"
+			body := `add x22, x20, x21
+ldrx x1, [x22, #0]
+ldrx x2, [x22, #64]
+ldrx x3, [x22, #128]
+ldrx x4, [x22, #192]
+addi x21, x21, #256
+andi x21, x21, #0x1FFF
+`
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MIM", Category: CatMemory, PaperInstructions: 5_250_000,
+		Description:        "independent strided loads missing to memory (uninitialized array)",
+		ReadsUninitialized: true,
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", bigBuf)
+			if o.InitArrays {
+				setup += initRegion("BUF", 2*1024*1024)
+			}
+			setup += fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\n", 2*1024*1024-1)
+			// A two-line stride separates stride prefetchers (which learn
+			// it) from plain next-line prefetching.
+			body := `ldrxr x1, [x20, x21]
+addi x21, x21, #128
+and x21, x21, x24
+`
+			return program(setup, body, 3, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MIM2", Category: CatMemory, PaperInstructions: 214_000,
+		Description:        "two interleaved miss streams from distinct regions (uninitialized)",
+		ReadsUninitialized: true,
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUFA, %#x\n.equ BUFB, %#x\n", bigBuf, bigBuf2)
+			if o.InitArrays {
+				setup += initRegion("BUFA", 1024*1024) + initRegion("BUFB", 1024*1024)
+			}
+			setup += fmt.Sprintf("la x20, BUFA\nla x19, BUFB\nmovz x21, #0\nla x24, %d\n", 1024*1024-1)
+			// Three-line strides: learnable by a stride prefetcher, wasted
+			// by a next-line prefetcher.
+			body := `ldrxr x1, [x20, x21]
+ldrxr x2, [x19, x21]
+addi x21, x21, #192
+and x21, x21, x24
+`
+			return program(setup, body, 4, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MIP", Category: CatMemory, PaperInstructions: 66_000_000,
+		Description: "sequential prefetch-friendly load stream over an L2-sized buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				initRegion("BUF", 128*1024) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\n", 128*1024-1)
+			body := `ldrxr x1, [x20, x21]
+addi x21, x21, #64
+and x21, x21, x24
+`
+			return program(setup, body, 3, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ML2", Category: CatMemory, PaperInstructions: 131_000,
+		Description: "dependent pointer chase resident in the L2 cache",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				chainRegion("BUF", 128*1024, 256) +
+				"la x20, BUF\n"
+			body := `ldrx x20, [x20, #0]
+ldrx x20, [x20, #0]
+`
+			if target < 24_000 {
+				target = 24_000 // keep the timed loop well above init cost
+			}
+			return program(setup, body, 2, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ML2_BWld", Category: CatMemory, PaperInstructions: 3_150_000,
+		Description: "load bandwidth: four independent loads per iteration from L2",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				initRegion("BUF", 128*1024) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\n", 128*1024-1)
+			body := `add x22, x20, x21
+ldrx x1, [x22, #0]
+ldrx x2, [x22, #64]
+ldrx x3, [x22, #128]
+ldrx x4, [x22, #192]
+addi x21, x21, #256
+and x21, x21, x24
+`
+			if target < 32_000 {
+				target = 32_000
+			}
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ML2_BWldst", Category: CatMemory, PaperInstructions: 107_000,
+		Description: "mixed load/store bandwidth on an L2-resident buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				initRegion("BUF", 128*1024) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\n", 128*1024-1)
+			body := `add x22, x20, x21
+ldrx x1, [x22, #0]
+strx x1, [x22, #64]
+ldrx x2, [x22, #128]
+strx x2, [x22, #192]
+addi x21, x21, #256
+and x21, x21, x24
+`
+			if target < 32_000 {
+				target = 32_000
+			}
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ML2_BWst", Category: CatMemory, PaperInstructions: 8_400,
+		Description: "store bandwidth: four stores per iteration into L2",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				initRegion("BUF", 128*1024) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\nmovz x2, #9\n", 128*1024-1)
+			body := `add x22, x20, x21
+strx x2, [x22, #0]
+strx x2, [x22, #64]
+strx x2, [x22, #128]
+strx x2, [x22, #192]
+addi x21, x21, #256
+and x21, x21, x24
+`
+			if target < 32_000 {
+				target = 32_000
+			}
+			return program(setup, body, 7, target)
+		},
+	})
+
+	register(Bench{
+		Name: "ML2_st", Category: CatMemory, PaperInstructions: 164_000,
+		Description: "read-modify-write traffic over an L2-resident buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", l2Buf) +
+				initRegion("BUF", 128*1024) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\n", 128*1024-1)
+			body := `add x22, x20, x21
+ldrx x1, [x22, #0]
+addi x1, x1, #1
+strx x1, [x22, #0]
+addi x21, x21, #64
+and x21, x21, x24
+`
+			if target < 32_000 {
+				target = 32_000
+			}
+			return program(setup, body, 6, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MM", Category: CatMemory, PaperInstructions: 1_050_000,
+		Description: "dependent pointer chase through a memory-resident working set",
+		build: func(o Options, target uint64) string {
+			// A strided chase over 2 MB: every access misses both caches.
+			setup := fmt.Sprintf(".equ BUF, %#x\n", bigBuf) +
+				chainRegion("BUF", 2*1024*1024, 4096) +
+				"la x20, BUF\n"
+			body := `ldrx x20, [x20, #0]
+`
+			if target < 12_000 {
+				target = 12_000
+			}
+			return program(setup, body, 1, target)
+		},
+	})
+
+	register(Bench{
+		Name: "MM_st", Category: CatMemory, PaperInstructions: 1_970_000,
+		Description: "streaming stores over a memory-resident buffer",
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", bigBuf) +
+				fmt.Sprintf("la x20, BUF\nmovz x21, #0\nla x24, %d\nmovz x2, #5\n", 2*1024*1024-1)
+			body := `strxr x2, [x20, x21]
+addi x21, x21, #64
+and x21, x21, x24
+`
+			return program(setup, body, 3, target)
+		},
+	})
+
+	register(Bench{
+		Name: "M_Dyn", Category: CatMemory, PaperInstructions: 1_500_000,
+		Description:        "loads at pseudo-random addresses over a large buffer (uninitialized)",
+		ReadsUninitialized: true,
+		build: func(o Options, target uint64) string {
+			setup := fmt.Sprintf(".equ BUF, %#x\n", bigBuf)
+			if o.InitArrays {
+				setup += initRegion("BUF", 1024*1024)
+			}
+			setup += fmt.Sprintf("la x20, BUF\nmovz x10, #12345\nmovz x11, #25173\nla x24, %d\n", 1024*1024-64)
+			body := lcgStep("x10", "x11") + `and x21, x10, x24
+ldrxr x1, [x20, x21]
+`
+			return program(setup, body, 4, target)
+		},
+	})
+}

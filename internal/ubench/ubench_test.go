@@ -1,0 +1,156 @@
+package ubench
+
+import (
+	"testing"
+
+	"racesim/internal/isa"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	s := Suite()
+	if len(s) != 40 {
+		t.Fatalf("suite has %d benchmarks, Table I lists 40", len(s))
+	}
+	wantCounts := map[Category]int{
+		CatMemory: 15, CatControl: 12, CatDataParallel: 5, CatExecution: 5, CatStore: 3,
+	}
+	got := map[Category]int{}
+	for _, b := range s {
+		got[b.Category]++
+	}
+	for cat, want := range wantCounts {
+		if got[cat] != want {
+			t.Errorf("category %s has %d benchmarks, want %d", cat, got[cat], want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"MC", "CS1", "DP1d", "ED1", "STc"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("benchmark %s missing", name)
+		}
+	}
+	if _, ok := ByName("NOPE"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestAllBenchmarksAssembleAndRun(t *testing.T) {
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := b.Trace(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			target := b.Target(Options{})
+			if uint64(tr.Len()) < target/2 {
+				t.Errorf("trace has %d instructions, target %d", tr.Len(), target)
+			}
+			if uint64(tr.Len()) > 4*target+1_000_000 {
+				t.Errorf("trace has %d instructions, way over target %d", tr.Len(), target)
+			}
+		})
+	}
+}
+
+func TestCategoriesStressTheRightClasses(t *testing.T) {
+	frac := func(name string, classes ...isa.Class) float64 {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		tr, err := b.Trace(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix := tr.ClassMix()
+		n := 0
+		for _, c := range classes {
+			n += mix[c]
+		}
+		return float64(n) / float64(tr.Len())
+	}
+	if f := frac("MD", isa.ClassLoad); f < 0.4 {
+		t.Errorf("MD load fraction %.2f, want heavy loads", f)
+	}
+	if f := frac("CCh", isa.ClassBranch); f < 0.2 {
+		t.Errorf("CCh branch fraction %.2f, want branch-heavy", f)
+	}
+	if f := frac("CS1", isa.ClassBranchInd); f < 0.05 {
+		t.Errorf("CS1 indirect fraction %.2f, want indirect branches", f)
+	}
+	if f := frac("DP1d", isa.ClassFPMul, isa.ClassFPAdd, isa.ClassSIMD); f < 0.15 {
+		t.Errorf("DP1d FP fraction %.2f, want FP-heavy", f)
+	}
+	if f := frac("EM1", isa.ClassIntMul); f < 0.4 {
+		t.Errorf("EM1 mul fraction %.2f, want mul-heavy", f)
+	}
+	if f := frac("STL2", isa.ClassStore); f < 0.25 {
+		t.Errorf("STL2 store fraction %.2f, want store-heavy", f)
+	}
+	if f := frac("CF1", isa.ClassCall, isa.ClassRet); f < 0.3 {
+		t.Errorf("CF1 call/ret fraction %.2f, want call-heavy", f)
+	}
+	if f := frac("DPcvt", isa.ClassFPCvt); f < 0.4 {
+		t.Errorf("DPcvt cvt fraction %.2f, want conversion-heavy", f)
+	}
+}
+
+func TestUninitializedFlagsAndInitArraysOption(t *testing.T) {
+	flagged := 0
+	for _, b := range Suite() {
+		if b.ReadsUninitialized {
+			flagged++
+		}
+	}
+	if flagged < 2 || flagged > 5 {
+		t.Errorf("%d benchmarks flagged uninitialized; the paper reports 'a couple'", flagged)
+	}
+	// With InitArrays, MIM's trace must gain store traffic (the init loop).
+	b, _ := ByName("MIM")
+	plain, err := b.Trace(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inited, err := b.Trace(Options{InitArrays: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inited.ClassMix()[isa.ClassStore] <= plain.ClassMix()[isa.ClassStore] {
+		t.Error("InitArrays did not add initialization stores")
+	}
+}
+
+func TestScaleOption(t *testing.T) {
+	b, _ := ByName("CCh")
+	small := b.Target(Options{Scale: 0.001})
+	big := b.Target(Options{Scale: 0.05})
+	if small >= big {
+		t.Errorf("scale option has no effect: %d vs %d", small, big)
+	}
+	if small < MinInstructions || big > MaxInstructions {
+		t.Errorf("targets escape clamps: %d, %d", small, big)
+	}
+}
+
+func TestPaperInstructionCountsMatchTable1(t *testing.T) {
+	// Spot-check the dynamic instruction counts against Table I.
+	want := map[string]uint64{
+		"MC": 1_800_000, "MCS": 115_000, "MD": 33_000, "MI": 22_000_000,
+		"MIP": 66_000_000, "ML2_BWst": 8_400, "CS3": 34_500_000,
+		"DPcvt": 36_700_000, "EM1": 65_000, "STL2": 4_000,
+	}
+	for name, count := range want {
+		b, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if b.PaperInstructions != count {
+			t.Errorf("%s paper count = %d, want %d", name, b.PaperInstructions, count)
+		}
+	}
+}

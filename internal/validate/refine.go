@@ -1,0 +1,57 @@
+package validate
+
+import (
+	"fmt"
+
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+)
+
+// RefineComponent is the methodology's step 5 follow-up: when the category
+// triage points at one mismodeled component, run an extra tuning round
+// whose instances are only that category's micro-benchmarks and whose cost
+// function is weighted with the component-relevant counter (the paper's
+// example: include branch misprediction rate when chasing the indirect
+// branch model).
+//
+// The returned configuration is re-evaluated on the full suite so callers
+// can verify the focused round did not regress other components.
+func RefineComponent(base sim.Config, ms []Measurement, cat ubench.Category, opt TuneOptions) (*TuneResult, error) {
+	var focused []Measurement
+	for _, m := range ms {
+		if m.Bench.Category == cat {
+			focused = append(focused, m)
+		}
+	}
+	if len(focused) < 2 {
+		return nil, fmt.Errorf("validate: category %s has %d benchmarks; need >= 2 for racing", cat, len(focused))
+	}
+	if opt.Weights == (CostWeights{}) && cat == ubench.CatControl {
+		opt.Weights = CostWeights{BranchMPKI: 0.5}
+	}
+	res, err := Tune(base, focused, opt)
+	if err != nil {
+		return nil, err
+	}
+	full, err := Errors(res.Tuned, ms)
+	if err != nil {
+		return nil, err
+	}
+	res.Errors = full
+	return res, nil
+}
+
+// Triage returns the category with the highest mean error — the candidate
+// for RefineComponent.
+func Triage(es []BenchError) (ubench.Category, float64) {
+	cats := CategoryErrors(es)
+	var worst ubench.Category
+	worstE := -1.0
+	for _, c := range ubench.Categories {
+		if e, ok := cats[c]; ok && e > worstE {
+			worst = c
+			worstE = e
+		}
+	}
+	return worst, worstE
+}

@@ -1,0 +1,68 @@
+package validate
+
+import (
+	"testing"
+
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+)
+
+func TestTriagePointsAtWorstCategory(t *testing.T) {
+	es := []BenchError{
+		{Name: "a", Category: ubench.CatControl, Error: 0.5},
+		{Name: "b", Category: ubench.CatControl, Error: 0.7},
+		{Name: "c", Category: ubench.CatMemory, Error: 0.1},
+		{Name: "d", Category: ubench.CatExecution, Error: 0.2},
+	}
+	cat, e := Triage(es)
+	if cat != ubench.CatControl {
+		t.Errorf("triage picked %s, want control", cat)
+	}
+	if e != 0.6 {
+		t.Errorf("triage mean = %v, want 0.6", e)
+	}
+}
+
+func TestRefineComponentFocusesOnCategory(t *testing.T) {
+	p, err := hw.Firefly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := measurements(t, p.A53)
+	base := sim.PublicA53()
+	base.DecoderDepBug = false // isolate specification errors
+
+	before, err := Errors(base, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeCats := CategoryErrors(before)
+
+	res, err := RefineComponent(base, ms, ubench.CatControl, TuneOptions{Budget: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCats := CategoryErrors(res.Errors)
+	t.Logf("control-category error: %.1f%% -> %.1f%%",
+		beforeCats[ubench.CatControl]*100, afterCats[ubench.CatControl]*100)
+	if afterCats[ubench.CatControl] >= beforeCats[ubench.CatControl] {
+		t.Errorf("focused refinement did not reduce control error: %.3f -> %.3f",
+			beforeCats[ubench.CatControl], afterCats[ubench.CatControl])
+	}
+	// Full-suite errors must be reported for regression checking.
+	if len(res.Errors) != len(ms) {
+		t.Errorf("refine reported %d errors, want full suite %d", len(res.Errors), len(ms))
+	}
+}
+
+func TestRefineComponentNeedsEnoughBenches(t *testing.T) {
+	p, err := hw.Firefly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := measurements(t, p.A53)[:1]
+	if _, err := RefineComponent(sim.PublicA53(), ms, ubench.CatStore, TuneOptions{Budget: 100}); err == nil {
+		t.Error("refine accepted a category with too few benchmarks")
+	}
+}

@@ -1,0 +1,121 @@
+// Package workload synthesizes SPEC CPU2017-like instruction traces for
+// the eleven benchmarks of the paper's Table II. Each profile encodes the
+// benchmark's published character — instruction mix, working-set size,
+// streaming vs. pointer-chasing access, branch predictability, indirect
+// control flow — and drives a deterministic generator that lays out a
+// static code image and walks it dynamically. The traces play the role of
+// the paper's SPEC region traces: held-out macro workloads that stress
+// component interactions the tuning micro-benchmarks do not.
+package workload
+
+// Profile characterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// SourceFile and Line document the paper's Table II region anchors.
+	SourceFile string
+	Line       int
+	// PaperInstructions is the dynamic count from Table II.
+	PaperInstructions uint64
+
+	// Memory behaviour.
+	WorkingSetKB int
+	StreamFrac   float64 // loads following PC-keyed strided streams
+	ChaseFrac    float64 // loads at dependent-random addresses
+	LoadFrac     float64 // fraction of instructions that load
+	StoreFrac    float64
+
+	// Control behaviour.
+	BranchRandom float64 // probability a conditional outcome is random
+	IndirectFrac float64 // fraction of blocks ending in indirect branches
+	CallFrac     float64 // fraction of blocks ending in calls
+	CodeBlocks   int     // hot-code size (i-cache pressure)
+
+	// Compute behaviour.
+	FPFrac   float64 // fraction of compute ops that are floating point
+	SIMDFrac float64 // fraction of compute ops that are SIMD
+	MulFrac  float64 // fraction of compute ops that multiply
+	DivFrac  float64
+	DepProb  float64 // probability an operand chains to a recent producer
+}
+
+// Profiles returns the Table II benchmarks in paper order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "mcf", SourceFile: "psimplex.c", Line: 331, PaperInstructions: 12_000_000_000,
+			WorkingSetKB: 16384, StreamFrac: 0.15, ChaseFrac: 0.70, LoadFrac: 0.34, StoreFrac: 0.09,
+			BranchRandom: 0.25, IndirectFrac: 0.02, CallFrac: 0.06, CodeBlocks: 24,
+			FPFrac: 0.02, SIMDFrac: 0.00, MulFrac: 0.04, DivFrac: 0.004, DepProb: 0.52,
+		},
+		{
+			Name: "povray", SourceFile: "povray.cpp", Line: 258, PaperInstructions: 2_450_000_000,
+			WorkingSetKB: 512, StreamFrac: 0.75, ChaseFrac: 0.05, LoadFrac: 0.30, StoreFrac: 0.12,
+			BranchRandom: 0.10, IndirectFrac: 0.04, CallFrac: 0.13, CodeBlocks: 40,
+			FPFrac: 0.38, SIMDFrac: 0.05, MulFrac: 0.10, DivFrac: 0.015, DepProb: 0.45,
+		},
+		{
+			Name: "omnetpp", SourceFile: "simulator/cmdenv.cc", Line: 268, PaperInstructions: 10_800_000_000,
+			WorkingSetKB: 8192, StreamFrac: 0.20, ChaseFrac: 0.55, LoadFrac: 0.32, StoreFrac: 0.14,
+			BranchRandom: 0.20, IndirectFrac: 0.09, CallFrac: 0.11, CodeBlocks: 56,
+			FPFrac: 0.03, SIMDFrac: 0.00, MulFrac: 0.03, DivFrac: 0.003, DepProb: 0.50,
+		},
+		{
+			Name: "xalancbmk", SourceFile: "XalanExe.cpp", Line: 842, PaperInstructions: 443_000_000,
+			WorkingSetKB: 4096, StreamFrac: 0.25, ChaseFrac: 0.45, LoadFrac: 0.31, StoreFrac: 0.10,
+			BranchRandom: 0.15, IndirectFrac: 0.12, CallFrac: 0.12, CodeBlocks: 64,
+			FPFrac: 0.01, SIMDFrac: 0.00, MulFrac: 0.03, DivFrac: 0.002, DepProb: 0.46,
+		},
+		{
+			Name: "deepsjeng", SourceFile: "epd.cpp", Line: 365, PaperInstructions: 14_900_000_000,
+			WorkingSetKB: 2048, StreamFrac: 0.30, ChaseFrac: 0.30, LoadFrac: 0.26, StoreFrac: 0.11,
+			BranchRandom: 0.34, IndirectFrac: 0.04, CallFrac: 0.09, CodeBlocks: 32,
+			FPFrac: 0.01, SIMDFrac: 0.00, MulFrac: 0.05, DivFrac: 0.004, DepProb: 0.55,
+		},
+		{
+			Name: "x264", SourceFile: "x264_src/x264.c", Line: 173, PaperInstructions: 14_800_000_000,
+			WorkingSetKB: 4096, StreamFrac: 0.85, ChaseFrac: 0.04, LoadFrac: 0.34, StoreFrac: 0.17,
+			BranchRandom: 0.08, IndirectFrac: 0.02, CallFrac: 0.06, CodeBlocks: 28,
+			FPFrac: 0.06, SIMDFrac: 0.30, MulFrac: 0.08, DivFrac: 0.003, DepProb: 0.38,
+		},
+		{
+			Name: "nab", SourceFile: "nabmd.c", Line: 127, PaperInstructions: 14_200_000_000,
+			WorkingSetKB: 1024, StreamFrac: 0.60, ChaseFrac: 0.10, LoadFrac: 0.30, StoreFrac: 0.12,
+			BranchRandom: 0.10, IndirectFrac: 0.02, CallFrac: 0.07, CodeBlocks: 24,
+			FPFrac: 0.42, SIMDFrac: 0.04, MulFrac: 0.12, DivFrac: 0.012, DepProb: 0.50,
+		},
+		{
+			Name: "leela", SourceFile: "Leela.cpp", Line: 62, PaperInstructions: 10_300_000_000,
+			WorkingSetKB: 512, StreamFrac: 0.35, ChaseFrac: 0.30, LoadFrac: 0.27, StoreFrac: 0.10,
+			BranchRandom: 0.24, IndirectFrac: 0.05, CallFrac: 0.11, CodeBlocks: 36,
+			FPFrac: 0.06, SIMDFrac: 0.00, MulFrac: 0.06, DivFrac: 0.006, DepProb: 0.50,
+		},
+		{
+			Name: "imagick", SourceFile: "wang/mogrify.cpp", Line: 168, PaperInstructions: 13_400_000_000,
+			WorkingSetKB: 2048, StreamFrac: 0.80, ChaseFrac: 0.04, LoadFrac: 0.31, StoreFrac: 0.14,
+			BranchRandom: 0.05, IndirectFrac: 0.01, CallFrac: 0.05, CodeBlocks: 20,
+			FPFrac: 0.45, SIMDFrac: 0.06, MulFrac: 0.14, DivFrac: 0.010, DepProb: 0.35,
+		},
+		{
+			Name: "gcc", SourceFile: "toplev.c", Line: 2461, PaperInstructions: 9_000_000_000,
+			WorkingSetKB: 8192, StreamFrac: 0.30, ChaseFrac: 0.40, LoadFrac: 0.29, StoreFrac: 0.14,
+			BranchRandom: 0.20, IndirectFrac: 0.10, CallFrac: 0.13, CodeBlocks: 96,
+			FPFrac: 0.01, SIMDFrac: 0.00, MulFrac: 0.03, DivFrac: 0.002, DepProb: 0.48,
+		},
+		{
+			Name: "xz", SourceFile: "spec_xz.c", Line: 229, PaperInstructions: 10_800_000_000,
+			WorkingSetKB: 16384, StreamFrac: 0.45, ChaseFrac: 0.35, LoadFrac: 0.30, StoreFrac: 0.12,
+			BranchRandom: 0.17, IndirectFrac: 0.02, CallFrac: 0.05, CodeBlocks: 28,
+			FPFrac: 0.00, SIMDFrac: 0.00, MulFrac: 0.05, DivFrac: 0.003, DepProb: 0.62,
+		},
+	}
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
