@@ -5,9 +5,16 @@
 //	experiments -run all
 //	experiments -run fig4 -budget1 4000 -budget2 6000
 //	experiments -run all -out EXPERIMENTS.out.md
+//	experiments -run all -parallelism 8 -cache simcache.json
 //
 // Every experiment prints the paper's claim next to the measured result so
-// shape deviations are visible at a glance.
+// shape deviations are visible at a glance. Output on stdout (and -out) is
+// byte-identical for any -parallelism value and any cache warmth; timing
+// and cache statistics go to stderr.
+//
+// -cache names a JSON snapshot of the simulation cache: it is loaded (if
+// present) before the run and saved after, so a repeated invocation skips
+// every simulation the previous one already performed.
 package main
 
 import (
@@ -15,40 +22,63 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"racesim/internal/expt"
+	"racesim/internal/simcache"
 )
 
 func main() {
 	var (
-		which   = flag.String("run", "all", "experiment id: all, table1, table2, fig2, fig4, fig5, fig6, fig7, fig8, staged")
-		scale   = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
-		events  = flag.Int("events", 60_000, "workload trace length")
-		budget1 = flag.Int("budget1", 2500, "irace budget, round 1")
-		budget2 = flag.Int("budget2", 3500, "irace budget, round 2")
-		seed    = flag.Int64("seed", 0, "seed")
-		out     = flag.String("out", "", "also write results to this file")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		which       = flag.String("run", "all", "experiment id: all, "+strings.Join(expt.IDs(), ", "))
+		scale       = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		events      = flag.Int("events", 60_000, "workload trace length")
+		budget1     = flag.Int("budget1", 2500, "irace budget, round 1")
+		budget2     = flag.Int("budget2", 3500, "irace budget, round 2")
+		seed        = flag.Int64("seed", 0, "seed")
+		parallelism = flag.Int("parallelism", 0, "concurrent simulation units (0 = GOMAXPROCS)")
+		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
+		out         = flag.String("out", "", "also write results to this file")
+		quiet       = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *events, *budget1, *budget2, *seed, *out, *quiet); err != nil {
+	if err := run(*which, *scale, *events, *budget1, *budget2, *seed, *parallelism, *cachePath, *out, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, scale float64, events, budget1, budget2 int, seed int64, out string, quiet bool) error {
+func run(which string, scale float64, events, budget1, budget2 int, seed int64,
+	parallelism int, cachePath, out string, quiet bool) error {
 	logf := func(format string, args ...any) {
 		if !quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+
+	cache := simcache.New()
+	if cachePath != "" {
+		if err := simcache.ValidatePath(cachePath); err != nil {
+			return err
+		}
+		n, err := cache.LoadFile(cachePath)
+		if err != nil {
+			return err
+		}
+		if rej := cache.Stats().Rejected; rej > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s: rejected %d corrupted cache entries\n", cachePath, rej)
+		}
+		logf("cache: loaded %d entries from %s", n, cachePath)
+	}
+
 	ctx, err := expt.NewContext(expt.Options{
 		UbenchScale:    scale,
 		WorkloadEvents: events,
 		BudgetRound1:   budget1,
 		BudgetRound2:   budget2,
 		Seed:           seed,
+		Parallelism:    parallelism,
+		Cache:          cache,
 		Log:            logf,
 	})
 	if err != nil {
@@ -62,19 +92,16 @@ func run(which string, scale float64, events, budget1, budget2 int, seed int64, 
 			return err
 		}
 	} else {
-		fns := map[string]func() (expt.Experiment, error){
-			"table1": ctx.Table1, "table2": ctx.Table2, "fig2": ctx.Fig2,
-			"fig4": ctx.Fig4, "fig5": ctx.Fig5, "fig6": ctx.Fig6,
-			"fig7": ctx.Fig7, "fig8": ctx.Fig8, "staged": ctx.Staged,
-		}
-		fn, ok := fns[which]
+		fn, ok := ctx.ByID(which)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", which)
 		}
+		start := time.Now()
 		e, err := fn()
 		if err != nil {
 			return err
 		}
+		e.Elapsed = time.Since(start)
 		exps = []expt.Experiment{e}
 	}
 
@@ -89,6 +116,20 @@ func run(which string, scale float64, events, budget1, budget2 int, seed int64, 
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+
+	// Wall-clock and cache effectiveness on stderr, never in the artifact.
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "timing: %-6s %v\n", e.ID, e.Elapsed.Round(time.Millisecond))
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate), %d entries\n",
+		st.Hits, st.Misses, st.Shared, st.HitRate()*100, st.Entries)
+	if cachePath != "" {
+		if err := cache.SaveFile(cachePath); err != nil {
+			return err
+		}
+		logf("cache: saved %d entries to %s", cache.Stats().Entries, cachePath)
 	}
 	return nil
 }

@@ -1,5 +1,6 @@
-// Command racesim runs a single workload through a simulator configuration
-// and prints the timing result — the equivalent of one Sniper run.
+// Command racesim runs workloads through a simulator configuration and
+// prints the timing result — the equivalent of one (or a batch of) Sniper
+// runs.
 //
 // Usage:
 //
@@ -7,14 +8,26 @@
 //	racesim -preset public-a72 -workload mcf -events 200000
 //	racesim -config tuned.json -workload povray
 //	racesim -preset public-a53 -trace path.rift
+//	racesim -preset public-a53 -ubench all -parallelism 8
+//	racesim -preset public-a53 -workload mcf,xz,povray -cache simcache.json
+//
+// -ubench and -workload accept a single name, a comma-separated list, or
+// "all". A single trace prints the detailed counter breakdown; a batch
+// prints one summary row per trace, in listed order regardless of
+// -parallelism. -cache persists simulation results across invocations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
+	"racesim/internal/expt"
+	"racesim/internal/par"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/trace"
 	"racesim/internal/ubench"
 	"racesim/internal/workload"
@@ -22,23 +35,102 @@ import (
 
 func main() {
 	var (
-		preset    = flag.String("preset", "public-a53", "built-in config: public-a53 or public-a72")
-		cfgPath   = flag.String("config", "", "JSON config file (overrides -preset)")
-		benchName = flag.String("ubench", "", "micro-benchmark name (Table I)")
-		wlName    = flag.String("workload", "", "SPEC-like workload name (Table II)")
-		trPath    = flag.String("trace", "", "RIFT trace file to replay")
-		events    = flag.Int("events", 100_000, "workload trace length")
-		scale     = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
-		seed      = flag.Int64("seed", 0, "workload generator seed")
+		preset      = flag.String("preset", "public-a53", "built-in config: public-a53 or public-a72")
+		cfgPath     = flag.String("config", "", "JSON config file (overrides -preset)")
+		benchNames  = flag.String("ubench", "", "micro-benchmark name(s), comma-separated, or \"all\" (Table I)")
+		wlNames     = flag.String("workload", "", "SPEC-like workload name(s), comma-separated, or \"all\" (Table II)")
+		trPath      = flag.String("trace", "", "RIFT trace file to replay")
+		events      = flag.Int("events", 100_000, "workload trace length")
+		scale       = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed        = flag.Int64("seed", 0, "workload generator seed")
+		parallelism = flag.Int("parallelism", 0, "concurrent simulations for batches (0 = GOMAXPROCS)")
+		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
 	)
 	flag.Parse()
-	if err := run(*preset, *cfgPath, *benchName, *wlName, *trPath, *events, *scale, *seed); err != nil {
+	if err := run(*preset, *cfgPath, *benchNames, *wlNames, *trPath, *events, *scale, *seed, *parallelism, *cachePath); err != nil {
 		fmt.Fprintln(os.Stderr, "racesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset, cfgPath, benchName, wlName, trPath string, events int, scale float64, seed int64) error {
+// expand resolves a comma-separated name list, where "all" selects every
+// known name (in canonical order).
+func expand(arg string, all []string) []string {
+	if arg == "all" {
+		return all
+	}
+	var out []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func gather(benchArg, wlArg, trPath string, events int, scale float64, seed int64,
+	parallelism int) ([]*trace.Trace, error) {
+	// Resolve names first (cheap, gives immediate errors), then generate
+	// the traces on the worker pool: emulation dominates batch startup.
+	var producers []func() (*trace.Trace, error)
+	if benchArg != "" {
+		var names []string
+		for _, b := range ubench.Suite() {
+			names = append(names, b.Name)
+		}
+		for _, n := range expand(benchArg, names) {
+			b, ok := ubench.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown micro-benchmark %q (see cmd/ubench -list)", n)
+			}
+			producers = append(producers, func() (*trace.Trace, error) {
+				return b.Trace(ubench.Options{Scale: scale})
+			})
+		}
+	}
+	if wlArg != "" {
+		var names []string
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+		for _, n := range expand(wlArg, names) {
+			p, ok := workload.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q", n)
+			}
+			producers = append(producers, func() (*trace.Trace, error) {
+				return workload.Generate(p, workload.Options{Events: events, Seed: seed})
+			})
+		}
+	}
+	if trPath != "" {
+		producers = append(producers, func() (*trace.Trace, error) {
+			return trace.ReadFile(trPath)
+		})
+	}
+	if len(producers) == 0 {
+		return nil, fmt.Errorf("one of -ubench, -workload or -trace is required")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	trs := make([]*trace.Trace, len(producers))
+	err := par.ForEach(len(producers), parallelism, func(i int) error {
+		tr, err := producers[i]()
+		if err != nil {
+			return err
+		}
+		trs[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trs, nil
+}
+
+func run(preset, cfgPath, benchArg, wlArg, trPath string, events int, scale float64, seed int64,
+	parallelism int, cachePath string) error {
 	var cfg sim.Config
 	switch {
 	case cfgPath != "":
@@ -55,51 +147,65 @@ func run(preset, cfgPath, benchName, wlName, trPath string, events int, scale fl
 		return fmt.Errorf("unknown preset %q", preset)
 	}
 
-	var tr *trace.Trace
-	switch {
-	case benchName != "":
-		b, ok := ubench.ByName(benchName)
-		if !ok {
-			return fmt.Errorf("unknown micro-benchmark %q (see cmd/ubench -list)", benchName)
-		}
-		var err error
-		tr, err = b.Trace(ubench.Options{Scale: scale})
-		if err != nil {
-			return err
-		}
-	case wlName != "":
-		p, ok := workload.ByName(wlName)
-		if !ok {
-			return fmt.Errorf("unknown workload %q", wlName)
-		}
-		var err error
-		tr, err = workload.Generate(p, workload.Options{Events: events, Seed: seed})
-		if err != nil {
-			return err
-		}
-	case trPath != "":
-		var err error
-		tr, err = trace.ReadFile(trPath)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("one of -ubench, -workload or -trace is required")
-	}
-
-	res, err := cfg.Run(tr)
+	trs, err := gather(benchArg, wlArg, trPath, events, scale, seed, parallelism)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("config:        %s (%s)\n", cfg.Name, cfg.Kind)
-	fmt.Printf("trace:         %s (%d instructions)\n", tr.Name, tr.Len())
-	fmt.Printf("cycles:        %d\n", res.Cycles)
-	fmt.Printf("CPI:           %.4f   (IPC %.4f)\n", res.CPI(), res.IPC())
-	fmt.Printf("branch MPKI:   %.2f   (mispredicts %d)\n",
-		res.Branch.MPKI(res.Instructions), res.Branch.Mispredicts())
-	fmt.Printf("L1D miss rate: %.2f%%  L2 miss rate: %.2f%%\n",
-		res.Mem.L1D.MissRate()*100, res.Mem.L2.MissRate()*100)
-	fmt.Printf("stalls:        front-end %d, data %d, structural %d cycles\n",
-		res.StallFrontEnd, res.StallData, res.StallStruct)
+
+	cache := simcache.New()
+	if cachePath != "" {
+		if err := simcache.ValidatePath(cachePath); err != nil {
+			return err
+		}
+		if _, err := cache.LoadFile(cachePath); err != nil {
+			return err
+		}
+	}
+	runner := expt.NewRunner(cache, parallelism)
+	units := make([]expt.Unit, len(trs))
+	for i, tr := range trs {
+		units[i] = expt.Unit{Config: cfg, Trace: tr}
+	}
+	results, err := runner.RunAll(units)
+	if err != nil {
+		return err
+	}
+
+	if len(trs) == 1 {
+		tr, res := trs[0], results[0]
+		fmt.Printf("config:        %s (%s)\n", cfg.Name, cfg.Kind)
+		fmt.Printf("trace:         %s (%d instructions)\n", tr.Name, tr.Len())
+		fmt.Printf("cycles:        %d\n", res.Cycles)
+		fmt.Printf("CPI:           %.4f   (IPC %.4f)\n", res.CPI(), res.IPC())
+		fmt.Printf("branch MPKI:   %.2f   (mispredicts %d)\n",
+			res.Branch.MPKI(res.Instructions), res.Branch.Mispredicts())
+		fmt.Printf("L1D miss rate: %.2f%%  L2 miss rate: %.2f%%\n",
+			res.Mem.L1D.MissRate()*100, res.Mem.L2.MissRate()*100)
+		fmt.Printf("stalls:        front-end %d, data %d, structural %d cycles\n",
+			res.StallFrontEnd, res.StallData, res.StallStruct)
+	} else {
+		t := &expt.Table{
+			Title:   fmt.Sprintf("%s (%s): %d traces", cfg.Name, cfg.Kind, len(trs)),
+			Headers: []string{"trace", "insns", "cycles", "CPI", "br MPKI", "L1D miss", "L2 miss"},
+		}
+		for i, tr := range trs {
+			res := results[i]
+			t.AddRow(tr.Name, fmt.Sprintf("%d", tr.Len()), fmt.Sprintf("%d", res.Cycles),
+				fmt.Sprintf("%.4f", res.CPI()),
+				fmt.Sprintf("%.2f", res.Branch.MPKI(res.Instructions)),
+				fmt.Sprintf("%.2f%%", res.Mem.L1D.MissRate()*100),
+				fmt.Sprintf("%.2f%%", res.Mem.L2.MissRate()*100))
+		}
+		fmt.Print(t.Render())
+	}
+
+	if cachePath != "" {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			st.Hits, st.Misses, st.HitRate()*100)
+		if err := cache.SaveFile(cachePath); err != nil {
+			return err
+		}
+	}
 	return nil
 }

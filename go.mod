@@ -1,0 +1,3 @@
+module racesim
+
+go 1.24

@@ -3,10 +3,13 @@ package expt
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"racesim/internal/hw"
 	"racesim/internal/perturb"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
+	"racesim/internal/trace"
 	"racesim/internal/ubench"
 	"racesim/internal/validate"
 	"racesim/internal/workload"
@@ -22,7 +25,15 @@ type Options struct {
 	BudgetRound2    int
 	PerturbRestarts int
 	Seed            int64
-	Log             func(format string, args ...any)
+	// Parallelism bounds concurrent simulation units across every
+	// experiment (<=0: GOMAXPROCS). Output is byte-identical for any
+	// value: simulation is deterministic and results are reassembled in
+	// submission order.
+	Parallelism int
+	// Cache, when non-nil, memoizes simulation results across all
+	// experiments (and across processes via simcache LoadFile/SaveFile).
+	Cache *simcache.Cache
+	Log   func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -45,10 +56,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Context caches the expensive artifacts (boards, tuned models, workload
-// measurements) across experiments.
+// measurements) across experiments and owns the Runner every experiment
+// submits its simulation units to.
 type Context struct {
-	opts Options
-	plat *hw.Platform
+	opts   Options
+	plat   *hw.Platform
+	runner *Runner
 
 	a53Stages []validate.StageResult
 	a72Stages []validate.StageResult
@@ -63,11 +76,15 @@ func NewContext(opts Options) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{opts: opts.withDefaults(), plat: plat}, nil
+	o := opts.withDefaults()
+	return &Context{opts: o, plat: plat, runner: NewRunner(o.Cache, o.Parallelism)}, nil
 }
 
 // Platform exposes the reference boards.
 func (c *Context) Platform() *hw.Platform { return c.plat }
+
+// Runner exposes the shared worker pool + cache.
+func (c *Context) Runner() *Runner { return c.runner }
 
 // StagesA53 lazily runs the full validation pipeline for the in-order core.
 func (c *Context) StagesA53() ([]validate.StageResult, error) {
@@ -79,6 +96,8 @@ func (c *Context) StagesA53() ([]validate.StageResult, error) {
 		BudgetRound2: c.opts.BudgetRound2,
 		Seed:         c.opts.Seed,
 		UbenchScale:  c.opts.UbenchScale,
+		Cache:        c.runner.Cache(),
+		Parallelism:  c.runner.Parallelism(),
 		Log:          c.opts.Log,
 	})
 	if err != nil {
@@ -98,6 +117,8 @@ func (c *Context) StagesA72() ([]validate.StageResult, error) {
 		BudgetRound2: c.opts.BudgetRound2,
 		Seed:         c.opts.Seed + 100,
 		UbenchScale:  c.opts.UbenchScale,
+		Cache:        c.runner.Cache(),
+		Parallelism:  c.runner.Parallelism(),
 		Log:          c.opts.Log,
 	})
 	if err != nil {
@@ -116,17 +137,26 @@ func (c *Context) Spec(board *hw.Board) ([]perturb.Workload, error) {
 	if *cached != nil {
 		return *cached, nil
 	}
-	var out []perturb.Workload
-	for _, p := range workload.Profiles() {
-		tr, err := workload.Generate(p, workload.Options{Events: c.opts.WorkloadEvents, Seed: c.opts.Seed})
+	profiles := workload.Profiles()
+	trs := make([]*trace.Trace, len(profiles))
+	err := c.runner.forEach(len(profiles), func(i int) error {
+		tr, err := workload.Generate(profiles[i], workload.Options{Events: c.opts.WorkloadEvents, Seed: c.opts.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cnt, err := board.Measure(tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, perturb.Workload{Name: p.Name, Trace: tr, Counters: cnt})
+		trs[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counters, err := c.runner.MeasureAll(board, trs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]perturb.Workload, len(profiles))
+	for i, p := range profiles {
+		out[i] = perturb.Workload{Name: p.Name, Trace: trs[i], Counters: counters[i]}
 	}
 	*cached = out
 	return out, nil
@@ -140,15 +170,33 @@ func (c *Context) Table1() (Experiment, error) {
 		Headers: []string{"category", "bench", "paper insns", "scaled insns", "stresses"},
 	}
 	opts := ubench.Options{Scale: c.opts.UbenchScale}
+	type row struct {
+		cat   ubench.Category
+		bench ubench.Bench
+		insns int
+	}
+	var rows []row
 	for _, cat := range ubench.Categories {
 		for _, b := range ubench.ByCategory(cat) {
-			tr, err := b.Trace(opts)
-			if err != nil {
-				return Experiment{}, err
-			}
-			t.AddRow(string(cat), b.Name, fmt.Sprintf("%d", b.PaperInstructions),
-				fmt.Sprintf("%d", tr.Len()), b.Description)
+			rows = append(rows, row{cat: cat, bench: b})
 		}
+	}
+	// Trace generation (emulation) dominates this table; fan it out and
+	// assemble rows in suite order.
+	err := c.runner.forEach(len(rows), func(i int) error {
+		tr, err := rows[i].bench.Trace(opts)
+		if err != nil {
+			return err
+		}
+		rows[i].insns = tr.Len()
+		return nil
+	})
+	if err != nil {
+		return Experiment{}, err
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.cat), r.bench.Name, fmt.Sprintf("%d", r.bench.PaperInstructions),
+			fmt.Sprintf("%d", r.insns), r.bench.Description)
 	}
 	return Experiment{
 		ID:       "table1",
@@ -165,13 +213,22 @@ func (c *Context) Table2() (Experiment, error) {
 		Title:   "Table II: SPEC CPU2017 region workloads",
 		Headers: []string{"benchmark", "file", "line", "paper insns", "synthesized insns"},
 	}
-	for _, p := range workload.Profiles() {
-		tr, err := workload.Generate(p, workload.Options{Events: c.opts.WorkloadEvents, Seed: c.opts.Seed})
+	profiles := workload.Profiles()
+	lens := make([]int, len(profiles))
+	err := c.runner.forEach(len(profiles), func(i int) error {
+		tr, err := workload.Generate(profiles[i], workload.Options{Events: c.opts.WorkloadEvents, Seed: c.opts.Seed})
 		if err != nil {
-			return Experiment{}, err
+			return err
 		}
+		lens[i] = tr.Len()
+		return nil
+	})
+	if err != nil {
+		return Experiment{}, err
+	}
+	for i, p := range profiles {
 		t.AddRow(p.Name, p.SourceFile, fmt.Sprintf("%d", p.Line),
-			fmt.Sprintf("%d", p.PaperInstructions), fmt.Sprintf("%d", tr.Len()))
+			fmt.Sprintf("%d", p.PaperInstructions), fmt.Sprintf("%d", lens[i]))
 	}
 	return Experiment{
 		ID:       "table2",
@@ -185,12 +242,14 @@ func (c *Context) Table2() (Experiment, error) {
 // Fig2 regenerates the racing-dynamics view: surviving configurations per
 // benchmark instance during an irace run on the A53.
 func (c *Context) Fig2() (Experiment, error) {
-	ms, err := validate.MeasureSuite(c.plat.A53, ubench.Options{Scale: c.opts.UbenchScale})
+	ms, err := validate.MeasureSuiteParallel(c.plat.A53, ubench.Options{Scale: c.opts.UbenchScale}, c.runner.Parallelism())
 	if err != nil {
 		return Experiment{}, err
 	}
 	res, err := validate.Tune(sim.PublicA53(), ms, validate.TuneOptions{
-		Budget: c.opts.BudgetRound1, Seed: c.opts.Seed, Log: c.opts.Log,
+		Budget: c.opts.BudgetRound1, Seed: c.opts.Seed,
+		Cache: c.runner.Cache(), Parallelism: c.runner.Parallelism(),
+		Log: c.opts.Log,
 	})
 	if err != nil {
 		return Experiment{}, err
@@ -276,16 +335,22 @@ func (c *Context) Fig4() (Experiment, error) {
 	}, nil
 }
 
-// specErrors evaluates a config on the Table II workloads.
-func specErrors(cfg sim.Config, ws []perturb.Workload) (map[string]float64, float64, float64, error) {
+// specErrors evaluates a config on the Table II workloads: one simulation
+// unit per workload, scheduled on the runner and deduplicated through the
+// shared cache.
+func (c *Context) specErrors(cfg sim.Config, ws []perturb.Workload) (map[string]float64, float64, float64, error) {
+	units := make([]Unit, len(ws))
+	for i, w := range ws {
+		units[i] = Unit{Config: cfg, Trace: w.Trace}
+	}
+	results, err := c.runner.RunAll(units)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	out := map[string]float64{}
 	total, worst := 0.0, 0.0
-	for _, w := range ws {
-		res, err := cfg.Run(w.Trace)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		e := res.CPI() - w.Counters.CPI
+	for i, w := range ws {
+		e := results[i].CPI() - w.Counters.CPI
 		if e < 0 {
 			e = -e
 		}
@@ -310,13 +375,13 @@ func (c *Context) specFigure(id, title, paperClaim string, board *hw.Board,
 	if err != nil {
 		return Experiment{}, err
 	}
-	errs, mean, worst, err := specErrors(tuned, ws)
+	errs, mean, worst, err := c.specErrors(tuned, ws)
 	if err != nil {
 		return Experiment{}, err
 	}
 	// Context row: how the untuned public model fares on the same held-out
 	// workloads (not in the paper's figure, but frames the improvement).
-	_, untunedMean, _, err := specErrors(stages[0].Config, ws)
+	_, untunedMean, _, err := c.specErrors(stages[0].Config, ws)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -360,12 +425,14 @@ func (c *Context) perturbFigure(id, title, paperClaim string, board *hw.Board,
 	if err != nil {
 		return Experiment{}, err
 	}
-	_, tunedMean, _, err := specErrors(tuned, ws)
+	_, tunedMean, _, err := c.specErrors(tuned, ws)
 	if err != nil {
 		return Experiment{}, err
 	}
 	res, err := perturb.WorstNearOptimum(tuned, ws, perturb.Options{
-		Restarts: c.opts.PerturbRestarts, Seed: c.opts.Seed, Log: c.opts.Log,
+		Restarts: c.opts.PerturbRestarts, Seed: c.opts.Seed,
+		Cache: c.runner.Cache(), Parallelism: c.runner.Parallelism(),
+		Log: c.opts.Log,
 	})
 	if err != nil {
 		return Experiment{}, err
@@ -428,24 +495,40 @@ func (c *Context) Staged() (Experiment, error) {
 	}, nil
 }
 
-// All runs every experiment in paper order.
+// ByID returns the named experiment function, for driver binaries that run
+// a single experiment.
+func (c *Context) ByID(id string) (func() (Experiment, error), bool) {
+	fns := map[string]func() (Experiment, error){
+		"table1": c.Table1, "table2": c.Table2, "fig2": c.Fig2,
+		"fig4": c.Fig4, "fig5": c.Fig5, "fig6": c.Fig6,
+		"fig7": c.Fig7, "fig8": c.Fig8, "staged": c.Staged,
+	}
+	fn, ok := fns[id]
+	return fn, ok
+}
+
+// IDs lists every experiment in paper order.
+func IDs() []string {
+	return []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "staged"}
+}
+
+// All runs every experiment in paper order. Experiments share the tuned
+// models, workload measurements and the simulation cache, so later
+// experiments are mostly cache hits; each Experiment records its own
+// wall-clock time (which is reported, never rendered, keeping output
+// byte-identical across parallelism settings).
 func (c *Context) All() ([]Experiment, error) {
-	type job struct {
-		name string
-		fn   func() (Experiment, error)
-	}
-	jobs := []job{
-		{"table1", c.Table1}, {"table2", c.Table2}, {"fig2", c.Fig2},
-		{"fig4", c.Fig4}, {"fig5", c.Fig5}, {"fig6", c.Fig6},
-		{"fig7", c.Fig7}, {"fig8", c.Fig8}, {"staged", c.Staged},
-	}
 	var out []Experiment
-	for _, j := range jobs {
-		c.opts.Log("expt: running %s", j.name)
-		e, err := j.fn()
+	for _, id := range IDs() {
+		fn, _ := c.ByID(id)
+		c.opts.Log("expt: running %s", id)
+		start := time.Now()
+		e, err := fn()
 		if err != nil {
-			return nil, fmt.Errorf("expt %s: %w", j.name, err)
+			return nil, fmt.Errorf("expt %s: %w", id, err)
 		}
+		e.Elapsed = time.Since(start)
+		c.opts.Log("expt: %-6s done in %v", id, e.Elapsed.Round(time.Millisecond))
 		out = append(out, e)
 	}
 	return out, nil

@@ -9,6 +9,7 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Table is a simple aligned text table.
@@ -85,6 +86,12 @@ type Experiment struct {
 	Paper    string // what the paper reports
 	Measured string // what this reproduction measures
 	Body     string // rendered table/figure
+
+	// Elapsed is the wall-clock time the experiment took. It is reported
+	// by the drivers on stderr but deliberately excluded from Render, so
+	// rendered output stays byte-identical across machines, parallelism
+	// settings and cache warmth.
+	Elapsed time.Duration
 }
 
 // Render formats the experiment as markdown-ish text.

@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+
+	"racesim/internal/core"
+	"racesim/internal/hw"
+	"racesim/internal/par"
+	"racesim/internal/sim"
+	"racesim/internal/simcache"
+	"racesim/internal/trace"
+)
+
+// Unit is one independent simulation: a configuration replaying one trace.
+// Experiments decompose into slices of Units so the Runner can schedule
+// them across workers and deduplicate repeats through the shared cache.
+type Unit struct {
+	Config sim.Config
+	Trace  *trace.Trace
+}
+
+// Runner schedules simulation units on a bounded worker pool and memoizes
+// results through an optional shared simcache.Cache. Results always come
+// back in submission order, so output built from them is byte-identical
+// regardless of parallelism or completion order.
+type Runner struct {
+	cache *simcache.Cache
+	par   int
+}
+
+// NewRunner builds a runner. cache may be nil (no memoization);
+// parallelism <= 0 selects GOMAXPROCS.
+func NewRunner(cache *simcache.Cache, parallelism int) *Runner {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{cache: cache, par: parallelism}
+}
+
+// Cache exposes the shared result cache (possibly nil).
+func (r *Runner) Cache() *simcache.Cache { return r.cache }
+
+// Parallelism is the worker-pool width.
+func (r *Runner) Parallelism() int { return r.par }
+
+// Run simulates one unit through the cache.
+func (r *Runner) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
+	return r.cache.Run(cfg, tr)
+}
+
+// forEach runs fn(0..n-1) on the worker pool and returns the error of the
+// lowest-indexed failure (deterministic regardless of completion order).
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	return par.ForEach(n, r.par, fn)
+}
+
+// RunAll simulates every unit, in parallel up to the pool width, and
+// returns results aligned with the input slice.
+func (r *Runner) RunAll(units []Unit) ([]core.Result, error) {
+	out := make([]core.Result, len(units))
+	err := r.forEach(len(units), func(i int) error {
+		res, err := r.cache.Run(units[i].Config, units[i].Trace)
+		if err != nil {
+			return fmt.Errorf("unit %d (%s on %s): %w", i, units[i].Config.Name, units[i].Trace.Name, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MeasureAll runs every trace on the board concurrently and returns the
+// counters aligned with the input. Board measurements are deterministic
+// (the pseudo-noise is a pure function of the trace identity), so the
+// parallel path returns exactly what sequential measurement would.
+func (r *Runner) MeasureAll(board *hw.Board, trs []*trace.Trace) ([]hw.Counters, error) {
+	out := make([]hw.Counters, len(trs))
+	err := r.forEach(len(trs), func(i int) error {
+		c, err := board.Measure(trs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

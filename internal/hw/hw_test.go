@@ -5,6 +5,7 @@ import (
 
 	"racesim/internal/prefetch"
 	"racesim/internal/sim"
+	"racesim/internal/trace"
 	"racesim/internal/ubench"
 )
 
@@ -179,9 +180,8 @@ func TestWarmDataDisablesZeroFillOnBoard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm := *tr
-	warm.WarmData = true
-	warmC, err := p.A53.Measure(&warm)
+	warm := &trace.Trace{Name: tr.Name, Events: tr.Events, WarmData: true}
+	warmC, err := p.A53.Measure(warm)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,14 @@
+// Package lmbench estimates cache and memory latencies of a reference
+// board the way the paper's step 2 uses lmbench's lat_mem_rd: a randomly
+// permuted pointer chase over working sets sized for each hierarchy
+// level, measured through the board's performance counters only.
+//
+// The chase defeats prefetching (each load's address depends on the
+// previous load's data), so cycles-per-load at a working-set size
+// approximates the access latency of the smallest level that holds the
+// set. Estimate reports L1, L2 and DRAM latencies in cycles;
+// validate.SeedLatencies snaps them onto the discrete candidate values of
+// the tuning space before handing the model to the tuner, mirroring how
+// the paper plugs lmbench numbers into the simulator as a starting point
+// rather than trusting them as ground truth.
+package lmbench

@@ -1,7 +1,3 @@
-// Package lmbench estimates cache and memory latencies of a reference
-// board the way the paper's step 2 uses lmbench's lat_mem_rd: a randomly
-// permuted pointer chase over working sets sized for each hierarchy level,
-// measured through the board's performance counters only.
 package lmbench
 
 import (

@@ -1,0 +1,44 @@
+// Package par is the one bounded-worker-pool helper shared by every layer
+// that fans independent simulation work out across cores (the experiment
+// runner, the validation suite, the perturbation study). Keeping the pool
+// in one place keeps its semantics — deterministic error selection,
+// bounded concurrency, no result reordering — identical everywhere.
+package par
+
+import "sync"
+
+// ForEach runs fn(0..n-1) with at most parallelism concurrent calls
+// (<=1 means sequential) and returns the lowest-indexed error, so the
+// reported failure is deterministic regardless of completion order.
+func ForEach(n, parallelism int, fn func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package perturb implements the paper's "impact of modeling errors"
+// study (Figs. 7–8): starting from the tuned optimum, find the
+// configuration that maximizes CPI error while every ordered parameter
+// stays within a single step of its optimal value. The paper's exhaustive
+// search over all single-step deviations is intractable verbatim (3^64
+// combinations), so we use greedy coordinate ascent with random restarts,
+// which finds the same kind of worst case: many individually-reasonable
+// one-step mistakes compounding into a badly imbalanced model.
+//
+// The search evaluates thousands of near-identical configurations on the
+// same workloads, so it accepts a shared simulation cache
+// (Options.Cache): revisited (configuration, workload) pairs — the
+// optimum value of each parameter, repeatedly — are answered from memory,
+// and a bounded worker pool (Options.Parallelism) fans the per-workload
+// simulations of each candidate out across cores. Both knobs change only
+// wall-clock time, never the result.
+package perturb

@@ -1,11 +1,3 @@
-// Package perturb implements the paper's "impact of modeling errors" study
-// (Figs. 7–8): starting from the tuned optimum, find the configuration
-// that maximizes CPI error while every ordered parameter stays within a
-// single step of its optimal value. The paper's exhaustive search over all
-// single-step deviations is intractable verbatim (3^64 combinations), so
-// we use greedy coordinate ascent with random restarts, which finds the
-// same kind of worst case: many individually-reasonable one-step mistakes
-// compounding into a badly imbalanced model.
 package perturb
 
 import (
@@ -14,7 +6,9 @@ import (
 
 	"racesim/internal/hw"
 	"racesim/internal/irace"
+	"racesim/internal/par"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/trace"
 )
 
@@ -33,7 +27,14 @@ type Options struct {
 	// MaxPasses bounds coordinate-ascent sweeps per restart.
 	MaxPasses int
 	Seed      int64
-	Log       func(format string, args ...any)
+	// Cache, when non-nil, memoizes simulation results; the ascent
+	// re-visits many configurations (the optimum value of each parameter,
+	// repeatedly), so sharing the experiment-wide cache pays directly.
+	Cache *simcache.Cache
+	// Parallelism bounds concurrent workload simulations per evaluated
+	// configuration (<=1: sequential).
+	Parallelism int
+	Log         func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -59,17 +60,23 @@ type Result struct {
 	Deviations int
 }
 
-// meanError evaluates a configuration against all workloads.
-func meanError(cfg sim.Config, ws []Workload) ([]float64, float64, error) {
+// meanError evaluates a configuration against all workloads, in parallel
+// up to o.Parallelism, memoizing through o.Cache when set.
+func meanError(cfg sim.Config, ws []Workload, o Options) ([]float64, float64, error) {
 	errs := make([]float64, len(ws))
-	total := 0.0
-	for i, w := range ws {
-		res, err := cfg.Run(w.Trace)
+	err := par.ForEach(len(ws), o.Parallelism, func(i int) error {
+		res, err := o.Cache.Run(cfg, ws[i].Trace)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
-		e := math.Abs(res.CPI()-w.Counters.CPI) / w.Counters.CPI
-		errs[i] = e
+		errs[i] = math.Abs(res.CPI()-ws[i].Counters.CPI) / ws[i].Counters.CPI
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0.0
+	for _, e := range errs {
 		total += e
 	}
 	return errs, total / float64(len(ws)), nil
@@ -123,7 +130,7 @@ func WorstNearOptimum(tuned sim.Config, ws []Workload, opt Options) (*Result, er
 		if !ok {
 			return 0, false
 		}
-		_, m, err := meanError(cfg, ws)
+		_, m, err := meanError(cfg, ws, o)
 		if err != nil {
 			return 0, false
 		}
@@ -133,7 +140,7 @@ func WorstNearOptimum(tuned sim.Config, ws []Workload, opt Options) (*Result, er
 	best := optimum.Clone()
 	bestErr, ok := evaluate(best)
 	if !ok {
-		_, m, err := meanError(tuned, ws)
+		_, m, err := meanError(tuned, ws, o)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +208,7 @@ func WorstNearOptimum(tuned sim.Config, ws []Workload, opt Options) (*Result, er
 		worstCfg = tuned
 	}
 	worstCfg.Name = tuned.Name + "-worst1step"
-	errs, mean, err := meanError(worstCfg, ws)
+	errs, mean, err := meanError(worstCfg, ws, o)
 	if err != nil {
 		return nil, err
 	}

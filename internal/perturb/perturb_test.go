@@ -34,7 +34,7 @@ func TestWorstNearOptimumInflatesError(t *testing.T) {
 	// the measurement noise, so single-step deviations must hurt.
 	tuned := p.A53.TrueConfig()
 	ws := workloads(t, p.A53, 4)
-	_, optErr, err := meanError(tuned, ws)
+	_, optErr, err := meanError(tuned, ws, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

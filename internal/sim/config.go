@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -130,6 +132,24 @@ func (c Config) Run(tr *trace.Trace) (core.Result, error) {
 		return core.Result{}, err
 	}
 	return m.Run(trace.NewCursor(tr))
+}
+
+// Fingerprint returns a stable hex digest of the configuration's canonical
+// JSON form. Two configurations that simulate identically (same kind and
+// parameter values, regardless of Name) share a fingerprint; it is the
+// config half of the simulation-cache key (see internal/simcache).
+func (c Config) Fingerprint() string {
+	canon := c
+	canon.Name = "" // cosmetic only: tuned copies must hit the same entry
+	data, err := json.Marshal(canon)
+	if err != nil {
+		// Config is a tree of plain value fields; Marshal cannot fail on
+		// it. Guard anyway so a future field type cannot poison the cache
+		// with colliding keys.
+		panic(fmt.Sprintf("sim: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // MarshalJSONFile writes the configuration to path as indented JSON.

@@ -1,0 +1,148 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"racesim/internal/core"
+)
+
+// fileFormat is bumped whenever the on-disk schema or the meaning of keys
+// changes (e.g. a new tunable parameter alters config fingerprints only
+// implicitly, but a Result field rename would not); mismatched snapshots
+// are ignored wholesale.
+const fileFormat = 1
+
+// entry is one persisted simulation result. Sum binds the result to its
+// key: sha256(key + canonical JSON of result). An entry whose checksum
+// does not match — disk corruption, hand edits, or a Result schema drift —
+// is rejected on load.
+type entry struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+	Sum    string      `json:"sum"`
+}
+
+type file struct {
+	Format  int     `json:"format"`
+	Entries []entry `json:"entries"`
+}
+
+// checksum computes the key-binding digest of a stored result.
+func checksum(key string, res core.Result) (string, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ValidatePath reports whether path could plausibly be written by
+// SaveFile: its parent must be an existing directory. Drivers call this
+// before a long run so a typo'd -cache path fails up front instead of
+// after the work is done.
+func ValidatePath(path string) error {
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("simcache: cache directory %s: %w", dir, err)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("simcache: cache directory %s is not a directory", dir)
+	}
+	return nil
+}
+
+// LoadFile merges a snapshot written by SaveFile into the cache. A missing
+// file is not an error (first run is simply cold). Entries failing the
+// checksum are dropped and counted in Stats.Rejected; the number of
+// accepted entries is returned.
+func (c *Cache) LoadFile(path string) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("simcache: %s: %w", path, err)
+	}
+	if f.Format != fileFormat {
+		return 0, nil // stale schema: start cold rather than mis-read
+	}
+	accepted := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range f.Entries {
+		sum, err := checksum(e.Key, e.Result)
+		if err != nil || sum != e.Sum {
+			c.rejected++
+			continue
+		}
+		if _, ok := c.entries[e.Key]; !ok {
+			c.entries[e.Key] = e.Result
+			accepted++
+		}
+	}
+	return accepted, nil
+}
+
+// SaveFile writes every stored result to path as checksummed JSON,
+// atomically (write to a temp file in the same directory, then rename).
+func (c *Cache) SaveFile(path string) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := file{Format: fileFormat, Entries: make([]entry, 0, len(keys))}
+	var sumErr error
+	for _, k := range keys {
+		res := c.entries[k]
+		sum, err := checksum(k, res)
+		if err != nil {
+			sumErr = err
+			break
+		}
+		f.Entries = append(f.Entries, entry{Key: k, Result: res, Sum: sum})
+	}
+	c.mu.Unlock()
+	if sumErr != nil {
+		return fmt.Errorf("simcache: %w", sumErr)
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".simcache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

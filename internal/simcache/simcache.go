@@ -1,0 +1,143 @@
+// Package simcache memoizes simulation results across experiments and
+// tuning races. A single (sim.Config, trace) pair is simulated at most
+// once per cache: the key is the configuration's canonical-JSON
+// fingerprint joined with the trace content digest, so any code path that
+// re-evaluates a configuration the survivor set already measured — the
+// experiment runner, the irace evaluator, the perturbation study — gets
+// the stored core.Result back instead of re-running the timing model.
+//
+// The cache is safe for concurrent use and deduplicates in-flight work:
+// when two workers ask for the same unit simultaneously, one simulates and
+// the other blocks on the first result (singleflight). An optional
+// JSON-on-disk snapshot (LoadFile/SaveFile) makes repeated cmd/experiments
+// runs warm across processes; every persisted entry carries a checksum
+// binding it to its key, so a corrupted or hand-edited entry is rejected
+// on load rather than silently poisoning experiments.
+//
+// All methods are nil-receiver safe: a nil *Cache simply simulates every
+// request, which lets callers thread "maybe a cache" through options
+// structs without branching at each call site.
+package simcache
+
+import (
+	"sync"
+
+	"racesim/internal/core"
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+)
+
+// Key identifies one simulation unit: a configuration fingerprint plus a
+// trace content digest.
+func Key(cfg sim.Config, tr *trace.Trace) string {
+	return cfg.Fingerprint() + ":" + tr.Digest()
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits     uint64 // Run calls answered from memory
+	Misses   uint64 // Run calls that simulated
+	Shared   uint64 // Run calls that waited on an identical in-flight run
+	Entries  int    // distinct results currently stored
+	Rejected uint64 // persisted entries dropped by checksum mismatch
+}
+
+// HitRate returns (hits+shared)/(hits+misses+shared) — waiting on an
+// identical in-flight run counts as a hit — or 0 before any lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// inflight tracks one simulation in progress so duplicates can wait on it.
+type inflight struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// Cache memoizes core.Results by simulation-unit key.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[string]core.Result
+	running  map[string]*inflight
+	hits     uint64
+	misses   uint64
+	shared   uint64
+	rejected uint64
+}
+
+// New returns an empty in-memory cache.
+func New() *Cache {
+	return &Cache{
+		entries: make(map[string]core.Result),
+		running: make(map[string]*inflight),
+	}
+}
+
+// Run returns the memoized result for (cfg, tr), simulating on first use.
+// A nil receiver runs the simulation directly.
+func (c *Cache) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
+	if c == nil {
+		return cfg.Run(tr)
+	}
+	key := Key(cfg, tr)
+
+	c.mu.Lock()
+	if res, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	if fl, ok := c.running[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	c.running[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.res, fl.err = cfg.Run(tr)
+
+	c.mu.Lock()
+	if fl.err == nil {
+		c.entries[key] = fl.res
+	}
+	delete(c.running, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// Get looks up a stored result without simulating.
+func (c *Cache) Get(cfg sim.Config, tr *trace.Trace) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[Key(cfg, tr)]
+	return res, ok
+}
+
+// Stats snapshots the counters. Safe on a nil receiver.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Shared:   c.shared,
+		Entries:  len(c.entries),
+		Rejected: c.rejected,
+	}
+}

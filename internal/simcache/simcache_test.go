@@ -1,0 +1,219 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+	"racesim/internal/ubench"
+)
+
+func testTrace(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	b, ok := ubench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown bench %s", name)
+	}
+	tr, err := b.Trace(ubench.Options{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := New()
+	cfg := sim.PublicA53()
+	tr := testTrace(t, "MD")
+
+	direct, err := cfg.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != direct || second != direct {
+		t.Error("cached results differ from direct simulation")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+
+	// A different configuration of the same trace is a distinct unit.
+	other := sim.PublicA72()
+	if _, err := c.Run(other, tr); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats after second config = %+v, want 2 misses, 2 entries", st)
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := sim.PublicA53()
+	b := sim.PublicA53()
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("cosmetic rename changed the fingerprint")
+	}
+	b.MSHRs++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("parameter change did not change the fingerprint")
+	}
+}
+
+func TestConcurrentDuplicatesSimulateOnce(t *testing.T) {
+	c := New()
+	cfg := sim.PublicA53()
+	tr := testTrace(t, "MD")
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Run(cfg, tr); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("%d misses for %d identical concurrent units, want exactly 1 simulation", st.Misses, n)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Errorf("hits %d + shared %d != %d", st.Hits, st.Shared, n-1)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	cfg := sim.PublicA53()
+	tr := testTrace(t, "MD")
+	res, err := c.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cfg.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != direct {
+		t.Error("nil cache altered the result")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	cfg := sim.PublicA53()
+	tr := testTrace(t, "MD")
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	c1 := New()
+	want, err := c1.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New()
+	n, err := c2.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d entries, want 1", n)
+	}
+	got, ok := c2.Get(cfg, tr)
+	if !ok || got != want {
+		t.Error("reloaded entry does not match the original result")
+	}
+	if _, err := c2.Run(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("warm run stats = %+v, want pure hit", st)
+	}
+}
+
+func TestLoadMissingFileIsCold(t *testing.T) {
+	c := New()
+	n, err := c.LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || n != 0 {
+		t.Errorf("missing file: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestPoisonedEntryRejectedByChecksum(t *testing.T) {
+	cfg := sim.PublicA53()
+	tr := testTrace(t, "MD")
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	c1 := New()
+	res, err := c1.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the stored result: flip the cycle count without refreshing
+	// the checksum, as disk corruption or a hand edit would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := `"Cycles": ` + strconv.FormatUint(res.Cycles, 10)
+	poisoned := strings.Replace(string(data), old, `"Cycles": `+strconv.FormatUint(res.Cycles+1, 10), 1)
+	if poisoned == string(data) {
+		t.Fatalf("could not find %q in snapshot to poison", old)
+	}
+	if err := os.WriteFile(path, []byte(poisoned), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New()
+	n, err := c2.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("accepted %d poisoned entries, want 0", n)
+	}
+	if st := c2.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+	if _, ok := c2.Get(cfg, tr); ok {
+		t.Error("poisoned entry is servable from the cache")
+	}
+	// The unit re-simulates to the correct value instead.
+	again, err := c2.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Error("re-simulated result differs from the original")
+	}
+}

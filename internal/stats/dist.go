@@ -1,9 +1,3 @@
-// Package stats provides the statistical machinery behind the iterated
-// racing tuner: rank transforms, the Friedman test used to eliminate
-// inferior configurations, paired t-tests and the Wilcoxon signed-rank test
-// for post-hoc comparisons, and the special functions (incomplete gamma and
-// beta) their p-values require. Implementations follow the standard series
-// and continued-fraction expansions (Numerical Recipes conventions).
 package stats
 
 import (

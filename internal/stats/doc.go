@@ -1,0 +1,18 @@
+// Package stats provides the statistical machinery behind the iterated
+// racing tuner: rank transforms, the Friedman test used to eliminate
+// inferior configurations, paired t-tests and the Wilcoxon signed-rank
+// test for post-hoc comparisons, and the special functions (incomplete
+// gamma and beta) their p-values require. Implementations follow the
+// standard series and continued-fraction expansions (Numerical Recipes
+// conventions).
+//
+// The tuner's hot path is Friedman: given a cost matrix of instances ×
+// alive candidates it ranks costs within each instance, computes the
+// chi-squared statistic over mean ranks and, when the null hypothesis of
+// equal candidates is rejected at the caller's alpha, supplies the
+// critical rank-sum difference used to drop candidates that are
+// statistically worse than the incumbent (see internal/irace). All
+// functions are pure and deterministic: the same matrix always eliminates
+// the same candidates, which keeps whole experiment runs reproducible
+// byte for byte.
+package stats

@@ -1,0 +1,20 @@
+// Package trace implements the racesim instruction trace format (RIFT),
+// a stand-in for Sniper's SIFT: a compact binary stream of dynamic
+// instruction events recorded once by the front-end (the functional
+// emulator) and replayed many times by the timing back-end.
+//
+// Each Event carries the raw instruction word rather than decoded
+// operands: the back-end decodes words itself (through isa.Decoder), so
+// decoder behaviour — including the reproduced dependency-extraction bug
+// — affects timing exactly as it did in the paper's Capstone-based
+// front-end.
+//
+// A Trace also carries two pieces of replay-relevant identity. WarmData
+// marks traces whose program initialized memory before the captured
+// region (as SPEC workloads do), which disables the hardware's zero-fill
+// page optimization for the run. Digest is a memoized content hash over
+// every event plus the WarmData flag; together with a configuration
+// fingerprint it keys the simulation cache (internal/simcache), so
+// identical replays are recognized no matter how the trace was produced
+// or what it was named.
+package trace

@@ -1,15 +1,11 @@
-// Package trace implements the racesim instruction trace format (RIFT), a
-// stand-in for Sniper's SIFT: a compact binary stream of dynamic
-// instruction events recorded once by the front-end (the functional
-// emulator) and replayed many times by the timing back-end.
-//
-// Each event carries the raw instruction word rather than decoded operands:
-// the back-end decodes words itself (through isa.Decoder), so decoder
-// behaviour — including the reproduced dependency-extraction bug — affects
-// timing exactly as it did in the paper's Capstone-based front-end.
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
 	"racesim/internal/emu"
 	"racesim/internal/isa"
 )
@@ -38,10 +34,42 @@ type Trace struct {
 	// optimizations for never-written (zero) pages do not apply to such
 	// traces; see cache.HierarchyConfig.ZeroFillOpt.
 	WarmData bool
+
+	digestOnce sync.Once
+	digest     string
 }
 
 // Len returns the number of dynamic instructions in the trace.
 func (t *Trace) Len() int { return len(t.Events) }
+
+// Digest returns a stable hex identity of the trace content: every dynamic
+// event plus the WarmData flag (which changes timing), excluding the
+// cosmetic Name so identically generated traces share simulation-cache
+// entries. The digest is computed once and memoized; callers must not
+// mutate Events after the first call.
+func (t *Trace) Digest() string {
+	t.digestOnce.Do(func() {
+		h := sha256.New()
+		var buf [29]byte
+		if t.WarmData {
+			buf[0] = 1
+		}
+		h.Write(buf[:1])
+		for _, ev := range t.Events {
+			binary.LittleEndian.PutUint64(buf[0:], ev.PC)
+			binary.LittleEndian.PutUint32(buf[8:], ev.Word)
+			binary.LittleEndian.PutUint64(buf[12:], ev.MemAddr)
+			binary.LittleEndian.PutUint64(buf[20:], ev.Target)
+			buf[28] = 0
+			if ev.Taken {
+				buf[28] = 1
+			}
+			h.Write(buf[:])
+		}
+		t.digest = hex.EncodeToString(h.Sum(nil))
+	})
+	return t.digest
+}
 
 // Source yields events in program order. Implementations must allow Reset
 // so one recording can drive many timing-model configurations.

@@ -3,6 +3,7 @@ package ubench
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // program stitches a standard benchmark skeleton: setup code, then a main
@@ -25,13 +26,15 @@ func program(setup, body string, perIter int, target uint64) string {
 	return b.String()
 }
 
-var initSeq int
+// initSeq only keeps assembler labels unique within a program; label
+// names never reach the encoded instructions, so an atomic counter keeps
+// concurrent trace generation race-free without affecting determinism.
+var initSeq atomic.Int64
 
 // initRegion emits a store loop writing one word per line over
 // [addr, addr+bytes), leaving x27/x26/x25 clobbered.
 func initRegion(addr string, bytes int) string {
-	initSeq++
-	label := fmt.Sprintf("init_%d", initSeq)
+	label := fmt.Sprintf("init_%d", initSeq.Add(1))
 	lines := bytes / 64
 	return fmt.Sprintf(`la x27, %s
 la x26, %d
@@ -48,8 +51,7 @@ cbnz x26, %s
 // given stride over [addr, addr+bytes): mem[addr+i*stride] = addr +
 // ((i+1)*stride mod bytes).
 func chainRegion(addr string, bytes, stride int) string {
-	initSeq++
-	label := fmt.Sprintf("chain_%d", initSeq)
+	label := fmt.Sprintf("chain_%d", initSeq.Add(1))
 	n := bytes / stride
 	return fmt.Sprintf(`la x27, %s
 la x26, %d

@@ -33,7 +33,7 @@ func RefineComponent(base sim.Config, ms []Measurement, cat ubench.Category, opt
 	if err != nil {
 		return nil, err
 	}
-	full, err := Errors(res.Tuned, ms)
+	full, err := ErrorsWith(res.Tuned, ms, opt.Cache, opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,11 @@
 package validate
 
 import (
+	"runtime"
+
 	"racesim/internal/hw"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/ubench"
 )
 
@@ -54,7 +57,12 @@ type PipelineOptions struct {
 	BudgetRound2 int
 	Seed         int64
 	UbenchScale  float64
-	Log          func(format string, args ...any)
+	// Cache, when non-nil, memoizes every simulation of the pipeline
+	// (tuning races and per-stage error evaluations).
+	Cache *simcache.Cache
+	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
+	Parallelism int
+	Log         func(format string, args ...any)
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
@@ -63,6 +71,9 @@ func (o PipelineOptions) withDefaults() PipelineOptions {
 	}
 	if o.BudgetRound2 <= 0 {
 		o.BudgetRound2 = 4000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -88,11 +99,11 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	o := opt.withDefaults()
 
 	// Stage 1: untuned public model on raw (uninitialized-array) traces.
-	rawMs, err := MeasureSuite(board, ubench.Options{Scale: o.UbenchScale})
+	rawMs, err := MeasureSuiteParallel(board, ubench.Options{Scale: o.UbenchScale}, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	untunedErrs, err := Errors(public, rawMs)
+	untunedErrs, err := ErrorsWith(public, rawMs, o.Cache, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +118,8 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 		Budget:        o.BudgetRound1,
 		Seed:          o.Seed,
 		ExcludeParams: union(IndirectParams, PrefetchParams),
+		Cache:         o.Cache,
+		Parallelism:   o.Parallelism,
 		Log:           o.Log,
 	})
 	if err != nil {
@@ -126,15 +139,17 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	if err != nil {
 		return nil, err
 	}
-	initMs, err := MeasureSuite(board, ubench.Options{Scale: o.UbenchScale, InitArrays: true})
+	initMs, err := MeasureSuiteParallel(board, ubench.Options{Scale: o.UbenchScale, InitArrays: true}, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	round2, err := Tune(fixedBase, initMs, TuneOptions{
-		Budget:  o.BudgetRound2,
-		Seed:    o.Seed + 1,
-		Weights: CostWeights{BranchMPKI: 0.2},
-		Log:     o.Log,
+		Budget:      o.BudgetRound2,
+		Seed:        o.Seed + 1,
+		Weights:     CostWeights{BranchMPKI: 0.2},
+		Cache:       o.Cache,
+		Parallelism: o.Parallelism,
+		Log:         o.Log,
 	})
 	if err != nil {
 		return nil, err

@@ -14,7 +14,9 @@ import (
 	"racesim/internal/hw"
 	"racesim/internal/irace"
 	"racesim/internal/lmbench"
+	"racesim/internal/par"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/trace"
 	"racesim/internal/ubench"
 )
@@ -29,25 +31,43 @@ type Measurement struct {
 // MeasureSuite records every micro-benchmark once and measures it on the
 // board — the one-time data collection of methodology step 4.
 func MeasureSuite(board *hw.Board, opts ubench.Options) ([]Measurement, error) {
+	return MeasureSuiteParallel(board, opts, 1)
+}
+
+// MeasureSuiteParallel is MeasureSuite over a bounded worker pool. Trace
+// generation and board measurement are both deterministic per benchmark,
+// so the result is identical to the sequential path, in suite order.
+func MeasureSuiteParallel(board *hw.Board, opts ubench.Options, parallelism int) ([]Measurement, error) {
 	benches := ubench.Suite()
 	out := make([]Measurement, len(benches))
-	for i, b := range benches {
+	err := par.ForEach(len(benches), parallelism, func(i int) error {
+		b := benches[i]
 		tr, err := b.Trace(opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := board.Measure(tr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = Measurement{Bench: b, Trace: tr, Counters: c}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // CPIError is the relative CPI prediction error of cfg on one measurement.
 func CPIError(cfg sim.Config, m Measurement) (float64, error) {
-	res, err := cfg.Run(m.Trace)
+	return cpiError(cfg, m, nil)
+}
+
+// cpiError is CPIError through an optional shared simulation cache — the
+// single definition of the error metric and its zero-CPI guard.
+func cpiError(cfg sim.Config, m Measurement, cache *simcache.Cache) (float64, error) {
+	res, err := cache.Run(cfg, m.Trace)
 	if err != nil {
 		return 0, err
 	}
@@ -66,13 +86,25 @@ type BenchError struct {
 
 // Errors evaluates cfg against every measurement.
 func Errors(cfg sim.Config, ms []Measurement) ([]BenchError, error) {
+	return ErrorsWith(cfg, ms, nil, 1)
+}
+
+// ErrorsWith is Errors through an optional shared simulation cache and a
+// bounded worker pool. Results are in measurement order, identical to the
+// sequential path.
+func ErrorsWith(cfg sim.Config, ms []Measurement, cache *simcache.Cache, parallelism int) ([]BenchError, error) {
 	out := make([]BenchError, len(ms))
-	for i, m := range ms {
-		e, err := CPIError(cfg, m)
+	err := par.ForEach(len(ms), parallelism, func(i int) error {
+		m := ms[i]
+		e, err := cpiError(cfg, m, cache)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = BenchError{Name: m.Bench.Name, Category: m.Bench.Category, Error: e}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -126,11 +158,15 @@ type CostWeights struct {
 	BranchMPKI float64
 }
 
-// Evaluator adapts the suite + board measurements to irace.
+// Evaluator adapts the suite + board measurements to irace. When Cache is
+// non-nil, simulation results are memoized across races, tuning rounds and
+// (with disk persistence) whole processes: a configuration the survivor
+// set already measured on an instance is never simulated again.
 type Evaluator struct {
 	Base    sim.Config
 	Ms      []Measurement
 	Weights CostWeights
+	Cache   *simcache.Cache
 }
 
 // NumInstances implements irace.Evaluator.
@@ -144,7 +180,7 @@ func (e *Evaluator) Cost(a irace.Assignment, instance int) float64 {
 		return math.Inf(1) // invalid combinations lose every race
 	}
 	m := e.Ms[instance]
-	res, err := cfg.Run(m.Trace)
+	res, err := e.Cache.Run(cfg, m.Trace)
 	if err != nil {
 		return math.Inf(1)
 	}
@@ -168,7 +204,12 @@ type TuneOptions struct {
 	// ExcludeParams removes parameters from the search space (e.g. the
 	// indirect-predictor knobs before the model supports them).
 	ExcludeParams map[string]bool
-	Log           func(format string, args ...any)
+	// Cache, when non-nil, memoizes simulation results across the race
+	// (and across callers sharing the same cache).
+	Cache *simcache.Cache
+	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
+	Parallelism int
+	Log         func(format string, args ...any)
 }
 
 // TuneResult is the outcome of one tuning round.
@@ -193,11 +234,12 @@ func Tune(base sim.Config, ms []Measurement, opt TuneOptions) (*TuneResult, erro
 	if err != nil {
 		return nil, err
 	}
-	eval := &Evaluator{Base: base, Ms: ms, Weights: opt.Weights}
+	eval := &Evaluator{Base: base, Ms: ms, Weights: opt.Weights, Cache: opt.Cache}
 	tuner, err := irace.New(space, eval, irace.Options{
-		Budget: opt.Budget,
-		Seed:   opt.Seed,
-		Log:    opt.Log,
+		Budget:      opt.Budget,
+		Seed:        opt.Seed,
+		Parallelism: opt.Parallelism,
+		Log:         opt.Log,
 	})
 	if err != nil {
 		return nil, err
@@ -211,7 +253,7 @@ func Tune(base sim.Config, ms []Measurement, opt TuneOptions) (*TuneResult, erro
 		return nil, err
 	}
 	tuned.Name = base.Name + "-tuned"
-	errs, err := Errors(tuned, ms)
+	errs, err := ErrorsWith(tuned, ms, opt.Cache, opt.Parallelism)
 	if err != nil {
 		return nil, err
 	}

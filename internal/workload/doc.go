@@ -1,0 +1,16 @@
+// Package workload synthesizes SPEC CPU2017-like instruction traces for
+// the eleven benchmarks of the paper's Table II. Each Profile encodes the
+// benchmark's published character — instruction mix, working-set size,
+// streaming vs. pointer-chasing access, branch predictability, indirect
+// control flow — and drives a deterministic generator that lays out a
+// static code image and walks it dynamically.
+//
+// The traces play the role of the paper's SPEC region traces: held-out
+// macro workloads that stress component interactions the tuning
+// micro-benchmarks (internal/ubench) do not. They are never shown to the
+// tuner; Figures 5–8 evaluate tuned and perturbed models against them.
+// Generation is a pure function of (Profile, Options), so the same seed
+// and event budget always produce the identical trace — a requirement for
+// byte-identical experiment reruns and for simulation-cache hits across
+// processes.
+package workload

@@ -1,11 +1,3 @@
-// Package workload synthesizes SPEC CPU2017-like instruction traces for
-// the eleven benchmarks of the paper's Table II. Each profile encodes the
-// benchmark's published character — instruction mix, working-set size,
-// streaming vs. pointer-chasing access, branch predictability, indirect
-// control flow — and drives a deterministic generator that lays out a
-// static code image and walks it dynamically. The traces play the role of
-// the paper's SPEC region traces: held-out macro workloads that stress
-// component interactions the tuning micro-benchmarks do not.
 package workload
 
 // Profile characterizes one synthetic benchmark.

@@ -31,6 +31,7 @@ import (
 	"racesim/internal/irace"
 	"racesim/internal/perturb"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/trace"
 	"racesim/internal/ubench"
 	"racesim/internal/validate"
@@ -156,7 +157,25 @@ type (
 	ExperimentOptions = expt.Options
 	// ExperimentContext caches artifacts across experiments.
 	ExperimentContext = expt.Context
+	// SimUnit is one independent (config, trace) simulation.
+	SimUnit = expt.Unit
+	// SimRunner schedules simulation units on a bounded worker pool.
+	SimRunner = expt.Runner
+	// SimCache memoizes simulation results across experiments and runs.
+	SimCache = simcache.Cache
+	// SimCacheStats snapshots cache effectiveness.
+	SimCacheStats = simcache.Stats
 )
 
 // NewExperiments builds an experiment context.
 var NewExperiments = expt.NewContext
+
+// NewSimCache returns an empty in-memory simulation cache; see
+// SimCache.LoadFile/SaveFile for cross-process persistence.
+var NewSimCache = simcache.New
+
+// NewSimRunner builds a parallel simulation runner over an optional cache.
+var NewSimRunner = expt.NewRunner
+
+// ExperimentIDs lists every experiment in paper order.
+var ExperimentIDs = expt.IDs
