@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"racesim/internal/expt"
+	"racesim/internal/prof"
 	"racesim/internal/simcache"
 )
 
@@ -40,9 +41,14 @@ func main() {
 		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
 		out         = flag.String("out", "", "also write results to this file")
 		quiet       = flag.Bool("q", false, "suppress progress output")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *events, *budget1, *budget2, *seed, *parallelism, *cachePath, *out, *quiet); err != nil {
+	err := prof.Run(*cpuprofile, *memprofile, func() error {
+		return run(*which, *scale, *events, *budget1, *budget2, *seed, *parallelism, *cachePath, *out, *quiet)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

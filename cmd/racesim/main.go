@@ -26,6 +26,7 @@ import (
 
 	"racesim/internal/expt"
 	"racesim/internal/par"
+	"racesim/internal/prof"
 	"racesim/internal/sim"
 	"racesim/internal/simcache"
 	"racesim/internal/trace"
@@ -45,9 +46,14 @@ func main() {
 		seed        = flag.Int64("seed", 0, "workload generator seed")
 		parallelism = flag.Int("parallelism", 0, "concurrent simulations for batches (0 = GOMAXPROCS)")
 		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*preset, *cfgPath, *benchNames, *wlNames, *trPath, *events, *scale, *seed, *parallelism, *cachePath); err != nil {
+	err := prof.Run(*cpuprofile, *memprofile, func() error {
+		return run(*preset, *cfgPath, *benchNames, *wlNames, *trPath, *events, *scale, *seed, *parallelism, *cachePath)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesim:", err)
 		os.Exit(1)
 	}

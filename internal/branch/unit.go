@@ -201,35 +201,37 @@ func NewUnit(cfg Config) (*Unit, error) {
 // Stats returns accumulated statistics.
 func (u *Unit) Stats() Stats { return u.stats }
 
-// staticPredict is the static fallback: backward taken, forward not-taken.
-func staticPredict(in *isa.Inst) bool {
-	return in.Target <= in.PC
-}
-
 // Access predicts the branch in, updates all structures with the actual
 // outcome, and reports the timing consequence.
 func (u *Unit) Access(in *isa.Inst) Outcome {
-	switch in.Cls {
+	return u.AccessOutcome(in.Cls, in.Op, in.PC, in.Target, in.Taken)
+}
+
+// AccessOutcome is Access over the branch's fields directly, so decoded
+// trace replay can drive the unit without materializing an isa.Inst per
+// dynamic branch.
+func (u *Unit) AccessOutcome(cls isa.Class, op isa.Op, pc, target uint64, taken bool) Outcome {
+	switch cls {
 	case isa.ClassBranch:
 		u.stats.Branches++
 		var predTaken bool
-		if in.Op == isa.OpB {
+		if op == isa.OpB {
 			predTaken = true // unconditional: direction known at decode
 		} else if _, ok := u.dir.(static); ok {
-			predTaken = staticPredict(in)
+			predTaken = target <= pc // backward taken, forward not-taken
 		} else {
-			predTaken = u.dir.Predict(in.PC)
+			predTaken = u.dir.Predict(pc)
 		}
-		predTarget, btbHit := u.btb.lookup(in.PC)
-		u.dir.Update(in.PC, in.Taken)
-		if in.Taken {
-			u.btb.insert(in.PC, in.Target)
+		predTarget, btbHit := u.btb.lookup(pc)
+		u.dir.Update(pc, taken)
+		if taken {
+			u.btb.insert(pc, target)
 		}
-		if predTaken != in.Taken {
+		if predTaken != taken {
 			u.stats.DirectionMiss++
 			return Outcome{Mispredict: true}
 		}
-		if in.Taken && (!btbHit || predTarget != in.Target) {
+		if taken && (!btbHit || predTarget != target) {
 			u.stats.BTBMiss++
 			return Outcome{TargetMiss: true}
 		}
@@ -237,9 +239,9 @@ func (u *Unit) Access(in *isa.Inst) Outcome {
 
 	case isa.ClassCall:
 		u.stats.Calls++
-		u.ras.push(in.PC + isa.InstSize)
-		_, btbHit := u.btb.lookup(in.PC)
-		u.btb.insert(in.PC, in.Target)
+		u.ras.push(pc + isa.InstSize)
+		_, btbHit := u.btb.lookup(pc)
+		u.btb.insert(pc, target)
 		if !btbHit {
 			u.stats.BTBMiss++
 			return Outcome{TargetMiss: true}
@@ -249,7 +251,7 @@ func (u *Unit) Access(in *isa.Inst) Outcome {
 	case isa.ClassRet:
 		u.stats.Returns++
 		pred, ok := u.ras.pop()
-		if !ok || pred != in.Target {
+		if !ok || pred != target {
 			u.stats.ReturnMiss++
 			return Outcome{Mispredict: true}
 		}
@@ -260,13 +262,13 @@ func (u *Unit) Access(in *isa.Inst) Outcome {
 		var pred uint64
 		var hit bool
 		if u.ind != nil {
-			pred, hit = u.ind.lookup(in.PC)
-			u.ind.update(in.PC, in.Target)
+			pred, hit = u.ind.lookup(pc)
+			u.ind.update(pc, target)
 		} else {
-			pred, hit = u.btb.lookup(in.PC)
-			u.btb.insert(in.PC, in.Target)
+			pred, hit = u.btb.lookup(pc)
+			u.btb.insert(pc, target)
 		}
-		if !hit || pred != in.Target {
+		if !hit || pred != target {
 			u.stats.IndirectMiss++
 			return Outcome{Mispredict: true}
 		}

@@ -116,23 +116,23 @@ type dramBackend struct {
 	mem       *dram.DRAM
 	cfg       *HierarchyConfig
 	pageShift uint
-	written   map[uint64]bool
-	zeroSeen  map[uint64]bool
+	written   *pageSet
+	zeroSeen  *pageSet
 	zeroFills uint64
 }
 
 func (b *dramBackend) BackAccess(now uint64, pc, addr uint64, write, pf bool) AccessResult {
 	page := addr >> b.pageShift
 	if write {
-		b.written[page] = true
+		b.written.Add(page)
 		return AccessResult{Latency: b.mem.Access(now, true), Level: 3}
 	}
-	if b.cfg.ZeroFillOpt && !b.written[page] {
-		if b.zeroSeen[page] {
+	if b.cfg.ZeroFillOpt && !b.written.Contains(page) {
+		if b.zeroSeen.Contains(page) {
 			b.zeroFills++
 			return AccessResult{Latency: uint64(b.cfg.ZeroFillLatency), Level: 3}
 		}
-		b.zeroSeen[page] = true
+		b.zeroSeen.Add(page)
 	}
 	return AccessResult{Latency: b.mem.Access(now, false), Level: 3}
 }
@@ -176,7 +176,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	h := &Hierarchy{cfg: cfg, pageShift: shift}
 	h.mem = &dramBackend{
 		mem: mem, cfg: &h.cfg, pageShift: shift,
-		written: make(map[uint64]bool), zeroSeen: make(map[uint64]bool),
+		written: newPageSet(), zeroSeen: newPageSet(),
 	}
 	h.l2, err = NewLevel(cfg.L2, 2, h.mem)
 	if err != nil {

@@ -161,8 +161,27 @@ func (m *InOrder) Run(src trace.Source) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %w", err)
 		}
-		m.step(&in)
+		m.step(&in, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
 	}
+	return m.finish(), nil
+}
+
+// RunDecoded implements Model.
+func (m *InOrder) RunDecoded(d *trace.Decoded) (Result, error) {
+	if d.DepBug != m.cfg.DecoderDepBug {
+		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.cfg.DecoderDepBug)
+	}
+	insts, pcs, mems, tgts := d.Insts, d.PC, d.MemAddr, d.Target
+	for i, id := range d.IDs {
+		m.step(&insts[id], pcs[i], mems[i], tgts[i], d.Taken(i))
+	}
+	if d.Err != nil {
+		return Result{}, fmt.Errorf("core: %w", d.Err)
+	}
+	return m.finish(), nil
+}
+
+func (m *InOrder) finish() Result {
 	m.res.Cycles = m.endCycle
 	if m.res.Cycles == 0 && m.res.Instructions > 0 {
 		m.res.Cycles = m.res.Instructions
@@ -170,12 +189,15 @@ func (m *InOrder) Run(src trace.Source) (Result, error) {
 	m.res.Branch = m.bu.Stats()
 	m.res.Mem = m.hier.Stats()
 	m.res.StallStruct += m.cont.stalls
-	return m.res, nil
+	return m.res
 }
 
-func (m *InOrder) step(in *isa.Inst) {
+// step advances the model by one dynamic instruction: st is the shared
+// static decode (never mutated), the remaining arguments are the event's
+// dynamic fields.
+func (m *InOrder) step(st *isa.Inst, pc, memAddr, target uint64, taken bool) {
 	m.res.Instructions++
-	m.res.ClassCounts[in.Cls]++
+	m.res.ClassCounts[st.Cls]++
 
 	earliest := m.fetchAvail
 	if m.cycle > earliest {
@@ -183,9 +205,9 @@ func (m *InOrder) step(in *isa.Inst) {
 	}
 
 	// Instruction fetch: access the I-cache on each new line.
-	line := in.PC >> m.fetchLineBits
+	line := pc >> m.fetchLineBits
 	if line != m.lastFetchLine {
-		fres := m.hier.Fetch(earliest, in.PC)
+		fres := m.hier.Fetch(earliest, pc)
 		base := uint64(m.cfg.Mem.L1I.HitLatency)
 		if m.cfg.Mem.L1I.TagDataSerial {
 			base++
@@ -201,7 +223,7 @@ func (m *InOrder) step(in *isa.Inst) {
 
 	// Operand readiness (scoreboard).
 	ready := earliest
-	for _, r := range in.Srcs() {
+	for _, r := range st.Srcs() {
 		if m.regReady[r] > ready {
 			ready = m.regReady[r]
 		}
@@ -210,11 +232,11 @@ func (m *InOrder) step(in *isa.Inst) {
 		m.res.StallData += ready - earliest
 	}
 
-	issueAt := m.slotFor(in.Cls, ready)
+	issueAt := m.slotFor(st.Cls, ready)
 
 	switch {
-	case in.Cls == isa.ClassLoad:
-		if !m.hier.L1D().Probe(in.MemAddr) {
+	case st.Cls == isa.ClassLoad:
+		if !m.hier.L1D().Probe(memAddr) {
 			// A miss needs an MSHR; a full file stalls the pipeline
 			// (hit-under-miss is allowed, miss-under-full is not).
 			if d := m.mshr.wait(issueAt); d > 0 {
@@ -223,17 +245,17 @@ func (m *InOrder) step(in *isa.Inst) {
 				m.advanceCycle(issueAt)
 			}
 		}
-		res := m.hier.Load(issueAt, in.PC, in.MemAddr)
+		res := m.hier.Load(issueAt, pc, memAddr)
 		done := issueAt + res.Latency
 		if res.Level > 1 {
 			m.mshr.note(done)
 		}
-		for _, r := range in.Dsts() {
+		for _, r := range st.Dsts() {
 			m.regReady[r] = done
 		}
 		m.retire(done)
 
-	case in.Cls == isa.ClassStore:
+	case st.Cls == isa.ClassStore:
 		// A full store buffer stalls the pipeline until a slot drains.
 		if d := m.sb.wait(issueAt); d > 0 {
 			m.res.StallStruct += d
@@ -244,16 +266,16 @@ func (m *InOrder) step(in *isa.Inst) {
 		if m.sbLast > start {
 			start = m.sbLast
 		}
-		res := m.hier.Store(start, in.PC, in.MemAddr)
+		res := m.hier.Store(start, pc, memAddr)
 		drain := start + res.Latency
 		m.sbLast = drain
 		m.sb.note(drain)
 		// The store retires quickly; the drain happens in the background.
 		m.retire(issueAt + 1)
 
-	case in.Cls.IsBranch():
-		resolve := issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
-		out := m.bu.Access(in)
+	case st.Cls.IsBranch():
+		resolve := issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
+		out := m.bu.AccessOutcome(st.Cls, st.Op, pc, target, taken)
 		if out.Mispredict {
 			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
 			m.fetchAvail = resolve + pen
@@ -265,14 +287,14 @@ func (m *InOrder) step(in *isa.Inst) {
 			}
 			m.res.StallFrontEnd += pen
 		}
-		for _, r := range in.Dsts() { // BL writes the link register
+		for _, r := range st.Dsts() { // BL writes the link register
 			m.regReady[r] = resolve
 		}
 		m.retire(resolve)
 
 	default:
-		done := issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
-		for _, r := range in.Dsts() {
+		done := issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
+		for _, r := range st.Dsts() {
 			m.regReady[r] = done
 		}
 		m.retire(done)

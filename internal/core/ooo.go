@@ -89,8 +89,27 @@ func (m *OoO) Run(src trace.Source) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %w", err)
 		}
-		m.step(&in)
+		m.step(&in, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
 	}
+	return m.finish(), nil
+}
+
+// RunDecoded implements Model.
+func (m *OoO) RunDecoded(d *trace.Decoded) (Result, error) {
+	if d.DepBug != m.cfg.DecoderDepBug {
+		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.cfg.DecoderDepBug)
+	}
+	insts, pcs, mems, tgts := d.Insts, d.PC, d.MemAddr, d.Target
+	for i, id := range d.IDs {
+		m.step(&insts[id], pcs[i], mems[i], tgts[i], d.Taken(i))
+	}
+	if d.Err != nil {
+		return Result{}, fmt.Errorf("core: %w", d.Err)
+	}
+	return m.finish(), nil
+}
+
+func (m *OoO) finish() Result {
 	m.res.Cycles = m.endCycle
 	if m.res.Cycles == 0 && m.res.Instructions > 0 {
 		m.res.Cycles = m.res.Instructions
@@ -98,7 +117,7 @@ func (m *OoO) Run(src trace.Source) (Result, error) {
 	m.res.Branch = m.bu.Stats()
 	m.res.Mem = m.hier.Stats()
 	m.res.StallStruct += m.cont.stalls
-	return m.res, nil
+	return m.res
 }
 
 // retireSlot assigns an in-order retirement cycle with RetireWidth slots
@@ -122,9 +141,12 @@ func (m *OoO) retireSlot(complete uint64) uint64 {
 	return t
 }
 
-func (m *OoO) step(in *isa.Inst) {
+// step advances the model by one dynamic instruction: st is the shared
+// static decode (never mutated), the remaining arguments are the event's
+// dynamic fields.
+func (m *OoO) step(st *isa.Inst, pc, memAddr, target uint64, taken bool) {
 	m.res.Instructions++
-	m.res.ClassCounts[in.Cls]++
+	m.res.ClassCounts[st.Cls]++
 	seq := m.seq
 	m.seq++
 
@@ -139,21 +161,21 @@ func (m *OoO) step(in *isa.Inst) {
 		m.res.StallStruct += q - earliest
 		earliest = q
 	}
-	if in.Cls == isa.ClassLoad {
+	if st.Cls == isa.ClassLoad {
 		if l := m.lq[m.loads%uint64(len(m.lq))]; m.loads >= uint64(len(m.lq)) && l > earliest {
 			earliest = l
 		}
 	}
-	if in.Cls == isa.ClassStore {
+	if st.Cls == isa.ClassStore {
 		if s := m.sq[m.stores%uint64(len(m.sq))]; m.stores >= uint64(len(m.sq)) && s > earliest {
 			earliest = s
 		}
 	}
 
 	// Instruction fetch.
-	line := in.PC >> m.fetchLineBits
+	line := pc >> m.fetchLineBits
 	if line != m.lastFetchLine {
-		fres := m.hier.Fetch(earliest, in.PC)
+		fres := m.hier.Fetch(earliest, pc)
 		base := uint64(m.cfg.Mem.L1I.HitLatency)
 		if m.cfg.Mem.L1I.TagDataSerial {
 			base++
@@ -183,7 +205,7 @@ func (m *OoO) step(in *isa.Inst) {
 
 	// Dataflow: operands.
 	ready := dispatchAt + 1 // one cycle from rename to earliest issue
-	for _, r := range in.Srcs() {
+	for _, r := range st.Srcs() {
 		if m.regReady[r] > ready {
 			ready = m.regReady[r]
 		}
@@ -192,13 +214,13 @@ func (m *OoO) step(in *isa.Inst) {
 		m.res.StallData += ready - dispatchAt - 1
 	}
 
-	issueAt := m.cont.issue(in.Cls, ready)
+	issueAt := m.cont.issue(st.Cls, ready)
 	m.iq[seq%uint64(len(m.iq))] = issueAt
 
 	var complete uint64
 	switch {
-	case in.Cls == isa.ClassLoad:
-		if !m.hier.L1D().Probe(in.MemAddr) {
+	case st.Cls == isa.ClassLoad:
+		if !m.hier.L1D().Probe(memAddr) {
 			// Misses need an MSHR: issue waits for a free one, which
 			// bounds memory-level parallelism.
 			if d := m.mshr.wait(issueAt); d > 0 {
@@ -206,7 +228,7 @@ func (m *OoO) step(in *isa.Inst) {
 				issueAt += d
 			}
 		}
-		res := m.hier.Load(issueAt, in.PC, in.MemAddr)
+		res := m.hier.Load(issueAt, pc, memAddr)
 		complete = issueAt + res.Latency
 		if res.Level > 1 {
 			m.mshr.note(complete)
@@ -214,14 +236,14 @@ func (m *OoO) step(in *isa.Inst) {
 		m.lq[m.loads%uint64(len(m.lq))] = complete
 		m.loads++
 
-	case in.Cls == isa.ClassStore:
+	case st.Cls == isa.ClassStore:
 		// Stores commit at retirement; the drain is background but
 		// serialized, and the SQ entry is held until drain completes.
 		start := issueAt
 		if m.sbLast > start {
 			start = m.sbLast
 		}
-		res := m.hier.Store(start, in.PC, in.MemAddr)
+		res := m.hier.Store(start, pc, memAddr)
 		drain := start + res.Latency
 		m.sbLast = drain
 		if res.Level > 1 {
@@ -231,9 +253,9 @@ func (m *OoO) step(in *isa.Inst) {
 		m.stores++
 		complete = issueAt + 1
 
-	case in.Cls.IsBranch():
-		complete = issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
-		out := m.bu.Access(in)
+	case st.Cls.IsBranch():
+		complete = issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
+		out := m.bu.AccessOutcome(st.Cls, st.Op, pc, target, taken)
 		if out.Mispredict {
 			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
 			if complete+pen > m.fetchAvail {
@@ -249,10 +271,10 @@ func (m *OoO) step(in *isa.Inst) {
 		}
 
 	default:
-		complete = issueAt + uint64(m.cfg.Lat.Latency(in.Cls))
+		complete = issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
 	}
 
-	for _, r := range in.Dsts() {
+	for _, r := range st.Dsts() {
 		m.regReady[r] = complete
 	}
 	m.rob[seq%uint64(len(m.rob))] = m.retireSlot(complete)

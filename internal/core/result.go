@@ -40,8 +40,15 @@ func (r Result) IPC() float64 {
 // Model runs traces under a timing configuration.
 type Model interface {
 	// Run replays src from its current position to the end and returns
-	// the accumulated timing result. Callers reset the source.
+	// the accumulated timing result, decoding each event as it goes.
+	// Callers reset the source. It is the reference replay path; the
+	// decoded path below is the fast one.
 	Run(src trace.Source) (Result, error)
+	// RunDecoded replays a pre-decoded trace: a linear walk over the
+	// columnar form with no per-event decode, map lookup or isa.Inst
+	// copy. The decoded trace's decoder variant must match the model's
+	// DecoderDepBug setting. Both paths produce identical Results.
+	RunDecoded(d *trace.Decoded) (Result, error)
 }
 
 // decodeCache memoizes static decode by instruction word: trace replay

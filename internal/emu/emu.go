@@ -43,8 +43,13 @@ type Machine struct {
 func New(prog *isa.Program) *Machine {
 	m := &Machine{prog: prog, mem: make(map[uint64][]byte), pc: prog.Entry}
 	for _, seg := range prog.Data {
-		for i, b := range seg.Data {
-			m.storeByte(seg.Addr+uint64(i), b)
+		// Copy whole pages at a time: one page lookup per page touched
+		// instead of one per byte.
+		addr, data := seg.Addr, seg.Data
+		for len(data) > 0 {
+			n := copy(m.page(addr)[addr&(pageSize-1):], data)
+			addr += uint64(n)
+			data = data[n:]
 		}
 	}
 	return m

@@ -1,0 +1,60 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools, so hot-path regressions in the replay pipeline are diagnosable
+// with `go tool pprof` (see docs/performance.md).
+package prof
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Run executes work with profiling active: CPU profiling to cpuPath and a
+// heap profile to memPath on completion (either may be empty). Profile
+// teardown errors are reported even when work fails.
+func Run(cpuPath, memPath string, work func() error) error {
+	stop, err := Start(cpuPath, memPath)
+	if err != nil {
+		return err
+	}
+	return errors.Join(work(), stop())
+}
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a stop
+// function that ends the CPU profile and writes a heap profile to memPath
+// (if non-empty). Call stop exactly once, after the measured work.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -118,11 +118,38 @@ func (c Config) Model() (core.Model, error) {
 	}
 }
 
-// Run replays a trace on a fresh model instance. Traces that declare
-// WarmData (the program initialized its memory before the region, as SPEC
-// workloads do) disable the zero-fill page optimization for the run: that
-// hardware behaviour only exists for never-written pages.
+// Run replays a trace on a fresh model instance through the decode-once
+// path: the trace's static decode is computed at most once per decoder
+// variant (memoized on tr, see trace.Decoded) and shared immutably by
+// every configuration — tuner candidates, validation stages, perturbation
+// sweeps — that replays the same trace. Traces that declare WarmData (the
+// program initialized its memory before the region, as SPEC workloads do)
+// disable the zero-fill page optimization for the run: that hardware
+// behaviour only exists for never-written pages.
 func (c Config) Run(tr *trace.Trace) (core.Result, error) {
+	return c.RunDecoded(tr.Decoded(c.DecoderDepBug))
+}
+
+// RunDecoded replays a pre-decoded trace on a fresh model instance. The
+// decoded variant must match the configuration's DecoderDepBug setting
+// (Run picks the right one automatically).
+func (c Config) RunDecoded(d *trace.Decoded) (core.Result, error) {
+	cfg := c
+	if d.WarmData {
+		cfg.Mem.ZeroFillOpt = false
+	}
+	m, err := cfg.Model()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return m.RunDecoded(d)
+}
+
+// RunCursor replays a trace through the legacy per-event decode path
+// (a trace.Cursor feeding the model's decode cache). It is the reference
+// implementation that replay-parity tests and benchmarks compare Run
+// against; both produce identical results.
+func (c Config) RunCursor(tr *trace.Trace) (core.Result, error) {
 	cfg := c
 	if tr.WarmData {
 		cfg.Mem.ZeroFillOpt = false

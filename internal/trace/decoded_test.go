@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"racesim/internal/isa"
+)
+
+func decodedTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	add := isa.EncR(isa.OpADD, isa.X(1), isa.X(2), isa.X(3))
+	ldr := isa.EncMem(isa.OpLDRX, isa.X(4), isa.X(5), 8)
+	return &Trace{Name: "decoded-test", Events: []Event{
+		{PC: 0x1000, Word: add},
+		{PC: 0x1004, Word: ldr, MemAddr: 0x8000},
+		{PC: 0x1008, Word: add},
+		{PC: 0x100c, Word: ldr, MemAddr: 0x8040},
+	}}
+}
+
+func TestDecodedDeduplicatesStaticDecodes(t *testing.T) {
+	tr := decodedTestTrace(t)
+	d := tr.Decoded(false)
+	if d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if d.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", d.Len(), tr.Len())
+	}
+	if len(d.Insts) != 2 {
+		t.Fatalf("unique static decodes = %d, want 2 (ADD, LDRX)", len(d.Insts))
+	}
+	if d.IDs[0] != d.IDs[2] || d.IDs[1] != d.IDs[3] {
+		t.Fatalf("repeated words must share ids: %v", d.IDs)
+	}
+	for i, ev := range tr.Events {
+		if d.PC[i] != ev.PC || d.MemAddr[i] != ev.MemAddr || d.Target[i] != ev.Target || d.Taken(i) != ev.Taken {
+			t.Fatalf("dynamic column mismatch at event %d", i)
+		}
+		if d.Inst(i).Op != isa.OpADD && d.Inst(i).Op != isa.OpLDRX {
+			t.Fatalf("unexpected op at event %d: %v", i, d.Inst(i).Op)
+		}
+	}
+	// Static table entries carry no dynamic state.
+	for _, in := range d.Insts {
+		if in.MemAddr != 0 || in.Taken || in.Target != 0 {
+			t.Fatalf("static decode carries dynamic fields: %+v", in)
+		}
+	}
+}
+
+func TestDecodedMemoizedPerVariant(t *testing.T) {
+	// FP register numbers encode as raw indices in the register fields.
+	fadd := isa.EncR(isa.OpFADD, isa.Reg(1), isa.Reg(2), isa.Reg(3))
+	tr := &Trace{Name: "variants", Events: []Event{{PC: 0x2000, Word: fadd}}}
+	correct := tr.Decoded(false)
+	buggy := tr.Decoded(true)
+	if correct == buggy {
+		t.Fatal("variants must decode separately")
+	}
+	if tr.Decoded(false) != correct || tr.Decoded(true) != buggy {
+		t.Fatal("Decoded must memoize per variant")
+	}
+	if got := correct.Insts[0].NSrc; got != 2 {
+		t.Fatalf("correct decode NSrc = %d, want 2", got)
+	}
+	if got := buggy.Insts[0].NSrc; got != 1 {
+		t.Fatalf("DepBug decode NSrc = %d, want 1 (dropped second FP source)", got)
+	}
+}
+
+func TestDecodedInvalidWordStopsAtFirstFailure(t *testing.T) {
+	tr := decodedTestTrace(t)
+	tr.Events = append(tr.Events, Event{PC: 0x1010, Word: ^uint32(0)})
+	tr.Events = append(tr.Events, Event{PC: 0x1014, Word: tr.Events[0].Word})
+	d := tr.Decoded(false)
+	if d.Err == nil {
+		t.Fatal("want decode error")
+	}
+	if d.Len() != 4 {
+		t.Fatalf("decoded prefix = %d events, want 4 (up to the invalid word)", d.Len())
+	}
+}
+
+func TestDecodedConcurrentAccess(t *testing.T) {
+	tr := decodedTestTrace(t)
+	var wg sync.WaitGroup
+	got := make([]*Decoded, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = tr.Decoded(i%2 == 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != tr.Decoded(i%2 == 0) {
+			t.Fatalf("goroutine %d observed a different instance", i)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type Trace struct {
 
 	digestOnce sync.Once
 	digest     string
+
+	// Memoized decode-once forms, one per decoder variant (correct,
+	// DepBug); see Decoded.
+	decodedOnce [2]sync.Once
+	decoded     [2]*Decoded
 }
 
 // Len returns the number of dynamic instructions in the trace.

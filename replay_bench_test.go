@@ -1,0 +1,138 @@
+package racesim
+
+import (
+	"testing"
+
+	"racesim/internal/sim"
+	"racesim/internal/trace"
+	"racesim/internal/ubench"
+)
+
+// Replay micro-benchmarks: the decode-once columnar path (Config.Run)
+// against the legacy per-event decode path (Config.RunCursor), on a single
+// trace and on the multi-config sweep that dominates tuning and
+// perturbation runs. MB/s numbers read as simulated instructions per
+// microsecond (1 "byte" = 1 instruction). Results are recorded in
+// BENCH_replay.json.
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	p, ok := ubench.ByName("MIP")
+	if !ok {
+		b.Fatal("missing MIP")
+	}
+	tr, err := p.Trace(ubench.Options{Scale: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// sweepConfigs builds distinct tuner-candidate-style variants of a preset,
+// mirroring what one irace iteration replays over a single trace.
+func sweepConfigs(base sim.Config) []sim.Config {
+	lat := []int{2, 3, 4}
+	l2 := []int{9, 12, 15, 18}
+	out := make([]sim.Config, 0, len(lat)*len(l2))
+	for _, l1 := range lat {
+		for _, l := range l2 {
+			cfg := base
+			cfg.Mem.L1D.HitLatency = l1
+			cfg.Mem.L2.HitLatency = l
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// BenchmarkInOrderReplay measures single-trace decoded replay throughput
+// on the in-order model.
+func BenchmarkInOrderReplay(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := sim.PublicA53()
+	tr.Decoded(cfg.DecoderDepBug) // decode outside the measured region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.Len()))
+}
+
+// BenchmarkInOrderReplayCursor is the legacy-path baseline for
+// BenchmarkInOrderReplay.
+func BenchmarkInOrderReplayCursor(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := sim.PublicA53()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.RunCursor(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.Len()))
+}
+
+// BenchmarkOOOReplay measures single-trace decoded replay throughput on
+// the out-of-order model.
+func BenchmarkOOOReplay(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := sim.PublicA72()
+	tr.Decoded(cfg.DecoderDepBug)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.Len()))
+}
+
+// BenchmarkOOOReplayCursor is the legacy-path baseline for
+// BenchmarkOOOReplay.
+func BenchmarkOOOReplayCursor(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := sim.PublicA72()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.RunCursor(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(tr.Len()))
+}
+
+// BenchmarkSweepDecodeOnce replays one trace under 12 configurations
+// through the decode-once path: the static decode is computed once and
+// shared by every configuration.
+func BenchmarkSweepDecodeOnce(b *testing.B) {
+	tr := benchTrace(b)
+	configs := sweepConfigs(sim.PublicA53())
+	tr.Decoded(configs[0].DecoderDepBug)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range configs {
+			if _, err := cfg.Run(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(tr.Len() * len(configs)))
+}
+
+// BenchmarkSweepPerConfigDecode is the seed path: every configuration
+// re-decodes the trace through its own per-model decode cache.
+func BenchmarkSweepPerConfigDecode(b *testing.B) {
+	tr := benchTrace(b)
+	configs := sweepConfigs(sim.PublicA53())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range configs {
+			if _, err := cfg.RunCursor(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(tr.Len() * len(configs)))
+}
