@@ -1,4 +1,5 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures and runs
+// registered scenario sweeps.
 //
 // Usage:
 //
@@ -6,15 +7,30 @@
 //	experiments -run fig4 -budget1 4000 -budget2 6000
 //	experiments -run all -out EXPERIMENTS.out.md
 //	experiments -run all -parallelism 8 -cache simcache.json
+//	experiments -list-scenarios
+//	experiments -scenario all -shard 1/2 -resume
+//	experiments -scenario 'transfer-*,budget-sweep-a53'
+//	experiments -manifest sweep.json -scenario nightly
+//	experiments -save-manifest sweep.json
 //
 // Every experiment prints the paper's claim next to the measured result so
 // shape deviations are visible at a glance. Output on stdout (and -out) is
 // byte-identical for any -parallelism value and any cache warmth; timing
 // and cache statistics go to stderr.
 //
+// Both -run and -scenario resolve through the scenario registry
+// (internal/scenario): -run is the classic single-pattern spelling,
+// -scenario accepts comma-separated names and globs, "all" being the
+// paper set. -shard i/n runs the i-th of n deterministic contiguous
+// partitions of the expanded unit list; concatenating the shard outputs
+// in order reproduces the unsharded output byte for byte.
+//
 // -cache names a JSON snapshot of the simulation cache: it is loaded (if
 // present) before the run and saved after, so a repeated invocation skips
-// every simulation the previous one already performed.
+// every simulation the previous one already performed. -resume
+// additionally checkpoints the snapshot after every completed unit, so an
+// interrupted sweep restarted with the same flags replays finished work
+// from the cache (~100% hits) and continues where it was killed.
 package main
 
 import (
@@ -26,27 +42,41 @@ import (
 
 	"racesim/internal/expt"
 	"racesim/internal/prof"
+	"racesim/internal/scenario"
 	"racesim/internal/simcache"
 )
 
 func main() {
 	var (
-		which       = flag.String("run", "all", "experiment id: all, "+strings.Join(expt.IDs(), ", "))
-		scale       = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
-		events      = flag.Int("events", 60_000, "workload trace length")
-		budget1     = flag.Int("budget1", 2500, "irace budget, round 1")
-		budget2     = flag.Int("budget2", 3500, "irace budget, round 2")
-		seed        = flag.Int64("seed", 0, "seed")
-		parallelism = flag.Int("parallelism", 0, "concurrent simulation units (0 = GOMAXPROCS)")
-		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
-		out         = flag.String("out", "", "also write results to this file")
-		quiet       = flag.Bool("q", false, "suppress progress output")
-		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		which        = flag.String("run", "", "experiment id or pattern: all, "+strings.Join(expt.IDs(), ", "))
+		scenarioPat  = flag.String("scenario", "", "comma-separated scenario names/globs ('all' = paper set); see -list-scenarios")
+		listScen     = flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+		shard        = flag.String("shard", "", "run shard i/n of the expanded unit list (deterministic contiguous partition)")
+		resume       = flag.Bool("resume", false, "checkpoint the simulation cache after every unit (implies a default -cache path)")
+		ckEvery      = flag.Duration("checkpoint-every", 10*time.Second, "background checkpoint period under -resume")
+		manifest     = flag.String("manifest", "", "overlay scenarios from this JSON manifest on the registry")
+		saveManifest = flag.String("save-manifest", "", "write the effective scenario registry to this manifest and exit")
+		scale        = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		events       = flag.Int("events", 60_000, "workload trace length")
+		budget1      = flag.Int("budget1", 2500, "irace budget, round 1")
+		budget2      = flag.Int("budget2", 3500, "irace budget, round 2")
+		seed         = flag.Int64("seed", 0, "seed")
+		parallelism  = flag.Int("parallelism", 0, "concurrent simulation units (0 = GOMAXPROCS)")
+		cachePath    = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
+		out          = flag.String("out", "", "also write results to this file")
+		quiet        = flag.Bool("q", false, "suppress progress output")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 	err := prof.Run(*cpuprofile, *memprofile, func() error {
-		return run(*which, *scale, *events, *budget1, *budget2, *seed, *parallelism, *cachePath, *out, *quiet)
+		return run(options{
+			run: *which, scenario: *scenarioPat, list: *listScen, shard: *shard,
+			resume: *resume, ckEvery: *ckEvery, manifest: *manifest, saveManifest: *saveManifest,
+			scale: *scale, events: *events, budget1: *budget1, budget2: *budget2,
+			seed: *seed, parallelism: *parallelism, cachePath: *cachePath,
+			out: *out, quiet: *quiet,
+		})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -54,88 +84,149 @@ func main() {
 	}
 }
 
-func run(which string, scale float64, events, budget1, budget2 int, seed int64,
-	parallelism int, cachePath, out string, quiet bool) error {
+type options struct {
+	run, scenario    string
+	list             bool
+	shard            string
+	resume           bool
+	ckEvery          time.Duration
+	manifest         string
+	saveManifest     string
+	scale            float64
+	events           int
+	budget1, budget2 int
+	seed             int64
+	parallelism      int
+	cachePath, out   string
+	quiet            bool
+}
+
+// defaultResumeCache is the checkpoint path -resume uses when -cache was
+// not given; a resumable sweep needs a snapshot on disk by definition.
+const defaultResumeCache = "simcache.json"
+
+func run(o options) error {
 	logf := func(format string, args ...any) {
-		if !quiet {
+		if !o.quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 
-	cache := simcache.New()
-	if cachePath != "" {
-		if err := simcache.ValidatePath(cachePath); err != nil {
-			return err
-		}
-		n, err := cache.LoadFile(cachePath)
+	specs := scenario.Registry()
+	if o.manifest != "" {
+		extra, err := scenario.LoadManifest(o.manifest)
 		if err != nil {
 			return err
 		}
-		if rej := cache.Stats().Rejected; rej > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: %s: rejected %d corrupted cache entries\n", cachePath, rej)
-		}
-		logf("cache: loaded %d entries from %s", n, cachePath)
+		specs = scenario.Merge(specs, extra)
 	}
 
-	ctx, err := expt.NewContext(expt.Options{
-		UbenchScale:    scale,
-		WorkloadEvents: events,
-		BudgetRound1:   budget1,
-		BudgetRound2:   budget2,
-		Seed:           seed,
-		Parallelism:    parallelism,
-		Cache:          cache,
-		Log:            logf,
+	if o.saveManifest != "" {
+		if err := scenario.SaveManifest(o.saveManifest, specs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d scenarios to %s\n", len(specs), o.saveManifest)
+		return nil
+	}
+	if o.list {
+		return listScenarios(specs)
+	}
+
+	if o.run != "" && o.scenario != "" {
+		return fmt.Errorf("cannot combine -run and -scenario; they are the same selector")
+	}
+	pattern := o.scenario
+	if pattern == "" {
+		pattern = o.run
+	}
+	if pattern == "" {
+		pattern = "all"
+	}
+	selected, err := scenario.Select(specs, pattern)
+	if err != nil {
+		return err
+	}
+	units, err := scenario.Expand(selected)
+	if err != nil {
+		return err
+	}
+	total := len(units)
+	si, sn, err := scenario.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	units = scenario.Shard(units, si, sn)
+	if sn > 1 {
+		logf("scenario: shard %d/%d: %d of %d units", si, sn, len(units), total)
+	}
+
+	cachePath := o.cachePath
+	if o.resume && cachePath == "" {
+		cachePath = defaultResumeCache
+		logf("scenario: -resume without -cache: checkpointing to %s", cachePath)
+	}
+
+	// Interrupt handling (flush a final checkpoint on SIGINT/SIGTERM)
+	// lives in scenario.Run, armed only after the checkpoint is loaded.
+	cache := simcache.New()
+	results, err := scenario.Run(units, scenario.RunOptions{
+		Expt: expt.Options{
+			UbenchScale:    o.scale,
+			WorkloadEvents: o.events,
+			BudgetRound1:   o.budget1,
+			BudgetRound2:   o.budget2,
+			Seed:           o.seed,
+			Parallelism:    o.parallelism,
+			Cache:          cache,
+			Log:            logf,
+		},
+		CachePath:       cachePath,
+		Checkpoint:      o.resume,
+		CheckpointEvery: o.ckEvery,
+		Log:             logf,
 	})
 	if err != nil {
 		return err
 	}
-
-	var exps []expt.Experiment
-	if which == "all" {
-		exps, err = ctx.All()
-		if err != nil {
-			return err
-		}
-	} else {
-		fn, ok := ctx.ByID(which)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", which)
-		}
-		start := time.Now()
-		e, err := fn()
-		if err != nil {
-			return err
-		}
-		e.Elapsed = time.Since(start)
-		exps = []expt.Experiment{e}
+	if rej := cache.Stats().Rejected; rej > 0 {
+		// A corrupted checkpoint is worth a warning even under -q: the
+		// affected units were silently re-simulated.
+		fmt.Fprintf(os.Stderr, "experiments: %s: rejected %d corrupted cache entries\n", cachePath, rej)
 	}
 
-	var b strings.Builder
-	for _, e := range exps {
-		b.WriteString(e.Render())
-		b.WriteByte('\n')
-	}
-	fmt.Print(b.String())
-	if out != "" {
-		if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+	rendered := scenario.RenderAll(results)
+	fmt.Print(rendered)
+	if o.out != "" {
+		if err := os.WriteFile(o.out, []byte(rendered), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", o.out)
 	}
 
 	// Wall-clock and cache effectiveness on stderr, never in the artifact.
-	for _, e := range exps {
-		fmt.Fprintf(os.Stderr, "timing: %-6s %v\n", e.ID, e.Elapsed.Round(time.Millisecond))
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "timing: %-6s %v\n", r.Unit.ID, r.Experiment.Elapsed.Round(time.Millisecond))
 	}
 	st := cache.Stats()
 	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate), %d entries\n",
 		st.Hits, st.Misses, st.Shared, st.HitRate()*100, st.Entries)
-	if cachePath != "" {
-		if err := cache.SaveFile(cachePath); err != nil {
-			return err
-		}
-		logf("cache: saved %d entries to %s", cache.Stats().Entries, cachePath)
+	return nil
+}
+
+func listScenarios(specs []scenario.Spec) error {
+	units, err := scenario.Expand(specs)
+	if err != nil {
+		return err
 	}
+	perScenario := map[string]int{}
+	for _, u := range units {
+		perScenario[u.Scenario]++
+	}
+	fmt.Printf("%-22s %-14s %5s  %s\n", "scenario", "kind", "units", "description")
+	for _, s := range specs {
+		fmt.Printf("%-22s %-14s %5d  %s\n", s.Name, s.Kind, perScenario[s.Name], s.Description)
+	}
+	fmt.Printf("\n%d scenarios, %d units; 'all' selects the paper set (%s)\n",
+		len(specs), len(units), strings.Join(scenario.PaperSet(specs), ", "))
 	return nil
 }

@@ -1,44 +1,64 @@
 // Command ubench inspects the Table I micro-benchmark suite: list the
-// benchmarks, dump a benchmark's trace to a RIFT file, or compare one
-// benchmark between the reference board and a simulator configuration.
+// benchmarks, dump a benchmark's trace to a RIFT file, or compare
+// benchmarks between the reference board and a simulator configuration.
 //
 // Usage:
 //
 //	ubench -list
 //	ubench -dump MD -o md.rift
 //	ubench -compare CS1 -core a53
+//	ubench -compare all -core a72 -parallelism 8 -cache simcache.json
+//
+// -compare all sweeps the whole suite: trace generation, board
+// measurement and model simulation fan out over -parallelism workers,
+// and simulations are memoized in the -cache snapshot (shared with the
+// other binaries), so repeated comparisons are mostly cache hits.
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 
 	"racesim/internal/hw"
 	"racesim/internal/isa"
+	"racesim/internal/par"
+	"racesim/internal/prof"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/ubench"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the suite")
-		dump    = flag.String("dump", "", "record a benchmark trace to -o")
-		out     = flag.String("o", "bench.rift", "output path for -dump")
-		compare = flag.String("compare", "", "compare a benchmark between board and model")
-		disasm  = flag.String("disasm", "", "print a benchmark's assembly listing")
-		coreK   = flag.String("core", "a53", "core for -compare: a53 or a72")
-		scale   = flag.Float64("scale", 0.01, "scale factor")
-		initArr = flag.Bool("init-arrays", false, "initialize arrays before the timed loop")
+		list        = flag.Bool("list", false, "list the suite")
+		dump        = flag.String("dump", "", "record a benchmark trace to -o")
+		out         = flag.String("o", "bench.rift", "output path for -dump")
+		compare     = flag.String("compare", "", "compare a benchmark (or 'all') between board and model")
+		disasm      = flag.String("disasm", "", "print a benchmark's assembly listing")
+		coreK       = flag.String("core", "a53", "core for -compare: a53 or a72")
+		scale       = flag.Float64("scale", 0.01, "scale factor")
+		initArr     = flag.Bool("init-arrays", false, "initialize arrays before the timed loop")
+		parallelism = flag.Int("parallelism", 0, "concurrent benchmarks for -compare all (0 = GOMAXPROCS)")
+		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*list, *dump, *out, *compare, *disasm, *coreK, *scale, *initArr); err != nil {
+	err := prof.Run(*cpuprofile, *memprofile, func() error {
+		return run(*list, *dump, *out, *compare, *disasm, *coreK, *scale, *initArr, *parallelism, *cachePath)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ubench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, dump, out, compare, disasm, coreK string, scale float64, initArr bool) error {
+func run(list bool, dump, out, compare, disasm, coreK string, scale float64,
+	initArr bool, parallelism int, cachePath string) error {
 	opts := ubench.Options{Scale: scale, InitArrays: initArr}
 	switch {
 	case disasm != "":
@@ -80,14 +100,6 @@ func run(list bool, dump, out, compare, disasm, coreK string, scale float64, ini
 		return nil
 
 	case compare != "":
-		b, ok := ubench.ByName(compare)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %q", compare)
-		}
-		tr, err := b.Trace(opts)
-		if err != nil {
-			return err
-		}
 		plat, err := hw.Firefly()
 		if err != nil {
 			return err
@@ -98,22 +110,108 @@ func run(list bool, dump, out, compare, disasm, coreK string, scale float64, ini
 			board = plat.A72
 			cfg = sim.PublicA72()
 		}
+		cache := simcache.New()
+		if cachePath != "" {
+			n, rejected, err := cache.LoadChecked(cachePath)
+			if err != nil {
+				return err
+			}
+			if rejected > 0 {
+				fmt.Fprintf(os.Stderr, "ubench: %s: rejected %d corrupted cache entries\n", cachePath, rejected)
+			}
+			fmt.Fprintf(os.Stderr, "cache: loaded %d entries from %s\n", n, cachePath)
+		}
+		if compare == "all" {
+			err = compareSuite(board, cfg, opts, parallelism, cache)
+		} else {
+			err = compareOne(compare, board, cfg, opts, cache)
+		}
+		if err != nil {
+			return err
+		}
+		if cachePath != "" {
+			if err := cache.SaveFile(cachePath); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "cache: saved %d entries to %s\n", cache.Stats().Entries, cachePath)
+		}
+		return nil
+	}
+	return fmt.Errorf("one of -list, -dump or -compare is required")
+}
+
+func compareOne(name string, board *hw.Board, cfg sim.Config, opts ubench.Options, cache *simcache.Cache) error {
+	b, ok := ubench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", name)
+	}
+	tr, err := b.Trace(opts)
+	if err != nil {
+		return err
+	}
+	cnt, err := board.Measure(tr)
+	if err != nil {
+		return err
+	}
+	res, err := cache.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	errPct := (res.CPI() - cnt.CPI) / cnt.CPI * 100
+	fmt.Printf("benchmark:     %s (%d instructions)\n", b.Name, tr.Len())
+	fmt.Printf("board CPI:     %.4f (%s)\n", cnt.CPI, board.Name)
+	fmt.Printf("model CPI:     %.4f (%s)\n", res.CPI(), cfg.Name)
+	fmt.Printf("CPI error:     %+.1f%%\n", errPct)
+	fmt.Printf("board brMPKI:  %.2f   model brMPKI: %.2f\n",
+		cnt.BranchMPKI, res.Branch.MPKI(res.Instructions))
+	return nil
+}
+
+// compareSuite runs every benchmark through board and model on a bounded
+// worker pool. Rows are assembled in suite order, so the output is
+// identical for any parallelism and cache warmth.
+func compareSuite(board *hw.Board, cfg sim.Config, opts ubench.Options, parallelism int, cache *simcache.Cache) error {
+	benches := ubench.Suite()
+	type row struct {
+		boardCPI, modelCPI, errPct float64
+		insns                      int
+	}
+	rows := make([]row, len(benches))
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	err := par.ForEach(len(benches), parallelism, func(i int) error {
+		tr, err := benches[i].Trace(opts)
+		if err != nil {
+			return err
+		}
 		cnt, err := board.Measure(tr)
 		if err != nil {
 			return err
 		}
-		res, err := cfg.Run(tr)
+		res, err := cache.Run(cfg, tr)
 		if err != nil {
 			return err
 		}
-		errPct := (res.CPI() - cnt.CPI) / cnt.CPI * 100
-		fmt.Printf("benchmark:     %s (%d instructions)\n", b.Name, tr.Len())
-		fmt.Printf("board CPI:     %.4f (%s)\n", cnt.CPI, board.Name)
-		fmt.Printf("model CPI:     %.4f (%s)\n", res.CPI(), cfg.Name)
-		fmt.Printf("CPI error:     %+.1f%%\n", errPct)
-		fmt.Printf("board brMPKI:  %.2f   model brMPKI: %.2f\n",
-			cnt.BranchMPKI, res.Branch.MPKI(res.Instructions))
+		rows[i] = row{
+			boardCPI: cnt.CPI,
+			modelCPI: res.CPI(),
+			errPct:   (res.CPI() - cnt.CPI) / cnt.CPI * 100,
+			insns:    tr.Len(),
+		}
 		return nil
+	})
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("one of -list, -dump or -compare is required")
+	fmt.Printf("%-14s %10s %10s %10s %8s\n", "bench", "insns", "board CPI", "model CPI", "error")
+	mean := 0.0
+	for i, b := range benches {
+		r := rows[i]
+		fmt.Printf("%-14s %10d %10.4f %10.4f %+7.1f%%\n", b.Name, r.insns, r.boardCPI, r.modelCPI, r.errPct)
+		mean += math.Abs(r.errPct)
+	}
+	fmt.Printf("\nmean |CPI error| over %d benchmarks: %.1f%% (%s vs %s)\n",
+		len(benches), mean/float64(len(benches)), board.Name, cfg.Name)
+	return nil
 }

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	validate -core a53 -budget1 4000 -budget2 6000 -out tuned-a53.json
+//	validate -core a72 -parallelism 8 -cache simcache.json
+//
+// -parallelism fans the pipeline's simulations (tuning races, per-stage
+// error evaluations) across a bounded worker pool; -cache persists the
+// simulation cache across runs, so re-validating with overlapping
+// configurations is mostly cache hits. Neither changes the result.
+// -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -13,28 +20,38 @@ import (
 	"os"
 
 	"racesim/internal/hw"
+	"racesim/internal/prof"
 	"racesim/internal/sim"
+	"racesim/internal/simcache"
 	"racesim/internal/validate"
 )
 
 func main() {
 	var (
-		coreK   = flag.String("core", "a53", "core to validate: a53 or a72")
-		budget1 = flag.Int("budget1", 3000, "irace budget for tuning round 1")
-		budget2 = flag.Int("budget2", 4000, "irace budget for tuning round 2")
-		scale   = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
-		seed    = flag.Int64("seed", 0, "tuner seed")
-		out     = flag.String("out", "", "write the tuned config JSON here")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		coreK       = flag.String("core", "a53", "core to validate: a53 or a72")
+		budget1     = flag.Int("budget1", 3000, "irace budget for tuning round 1")
+		budget2     = flag.Int("budget2", 4000, "irace budget for tuning round 2")
+		scale       = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed        = flag.Int64("seed", 0, "tuner seed")
+		parallelism = flag.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
+		out         = flag.String("out", "", "write the tuned config JSON here")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*coreK, *budget1, *budget2, *scale, *seed, *out, *quiet); err != nil {
+	err := prof.Run(*cpuprofile, *memprofile, func() error {
+		return run(*coreK, *budget1, *budget2, *scale, *seed, *parallelism, *cachePath, *out, *quiet)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(coreK string, budget1, budget2 int, scale float64, seed int64, out string, quiet bool) error {
+func run(coreK string, budget1, budget2 int, scale float64, seed int64,
+	parallelism int, cachePath, out string, quiet bool) error {
 	plat, err := hw.Firefly()
 	if err != nil {
 		return err
@@ -53,11 +70,24 @@ func run(coreK string, budget1, budget2 int, scale float64, seed int64, out stri
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	cache := simcache.New()
+	if cachePath != "" {
+		n, rejected, err := cache.LoadChecked(cachePath)
+		if err != nil {
+			return err
+		}
+		if rejected > 0 {
+			fmt.Fprintf(os.Stderr, "validate: %s: rejected %d corrupted cache entries\n", cachePath, rejected)
+		}
+		logf("cache: loaded %d entries from %s", n, cachePath)
+	}
 	stages, err := validate.Pipeline(board, public, validate.PipelineOptions{
 		BudgetRound1: budget1,
 		BudgetRound2: budget2,
 		Seed:         seed,
 		UbenchScale:  scale,
+		Cache:        cache,
+		Parallelism:  parallelism,
 		Log:          logf,
 	})
 	if err != nil {
@@ -74,6 +104,16 @@ func run(coreK string, budget1, budget2 int, scale float64, seed int64, out stri
 	fmt.Printf("\nper-category error of the final model:\n")
 	for cat, e := range validate.CategoryErrors(final.Errors) {
 		fmt.Printf("  %-14s %.1f%%\n", cat, e*100)
+	}
+
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate), %d entries\n",
+		st.Hits, st.Misses, st.Shared, st.HitRate()*100, st.Entries)
+	if cachePath != "" {
+		if err := cache.SaveFile(cachePath); err != nil {
+			return err
+		}
+		logf("cache: saved %d entries to %s", cache.Stats().Entries, cachePath)
 	}
 
 	if out != "" {

@@ -68,6 +68,8 @@ type Context struct {
 
 	specA53 []perturb.Workload
 	specA72 []perturb.Workload
+
+	ms map[*hw.Board][]validate.Measurement
 }
 
 // NewContext builds a context over the reference platform.
@@ -77,7 +79,10 @@ func NewContext(opts Options) (*Context, error) {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	return &Context{opts: o, plat: plat, runner: NewRunner(o.Cache, o.Parallelism)}, nil
+	return &Context{
+		opts: o, plat: plat, runner: NewRunner(o.Cache, o.Parallelism),
+		ms: map[*hw.Board][]validate.Measurement{},
+	}, nil
 }
 
 // Platform exposes the reference boards.
@@ -85,6 +90,28 @@ func (c *Context) Platform() *hw.Platform { return c.plat }
 
 // Runner exposes the shared worker pool + cache.
 func (c *Context) Runner() *Runner { return c.runner }
+
+// Options exposes the sizing knobs the context was built with, so layered
+// drivers (the scenario engine) can derive per-unit budgets and seeds from
+// the same source of truth.
+func (c *Context) Options() Options { return c.opts }
+
+// Measurements lazily records and measures the micro-benchmark suite on a
+// board, memoized by board identity (so re-noised or otherwise rebuilt
+// boards never alias the reference ones): every consumer of the tuning
+// instances (Fig2, budget sweeps, ad-hoc tuning rounds) shares one
+// measurement pass per board.
+func (c *Context) Measurements(board *hw.Board) ([]validate.Measurement, error) {
+	if ms, ok := c.ms[board]; ok {
+		return ms, nil
+	}
+	ms, err := validate.MeasureSuiteParallel(board, ubench.Options{Scale: c.opts.UbenchScale}, c.runner.Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	c.ms[board] = ms
+	return ms, nil
+}
 
 // StagesA53 lazily runs the full validation pipeline for the in-order core.
 func (c *Context) StagesA53() ([]validate.StageResult, error) {
@@ -242,7 +269,7 @@ func (c *Context) Table2() (Experiment, error) {
 // Fig2 regenerates the racing-dynamics view: surviving configurations per
 // benchmark instance during an irace run on the A53.
 func (c *Context) Fig2() (Experiment, error) {
-	ms, err := validate.MeasureSuiteParallel(c.plat.A53, ubench.Options{Scale: c.opts.UbenchScale}, c.runner.Parallelism())
+	ms, err := c.Measurements(c.plat.A53)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -335,10 +362,11 @@ func (c *Context) Fig4() (Experiment, error) {
 	}, nil
 }
 
-// specErrors evaluates a config on the Table II workloads: one simulation
+// SpecErrors evaluates a config on the Table II workloads: one simulation
 // unit per workload, scheduled on the runner and deduplicated through the
-// shared cache.
-func (c *Context) specErrors(cfg sim.Config, ws []perturb.Workload) (map[string]float64, float64, float64, error) {
+// shared cache. It returns per-workload relative CPI errors, their mean
+// and the worst case.
+func (c *Context) SpecErrors(cfg sim.Config, ws []perturb.Workload) (map[string]float64, float64, float64, error) {
 	units := make([]Unit, len(ws))
 	for i, w := range ws {
 		units[i] = Unit{Config: cfg, Trace: w.Trace}
@@ -375,13 +403,13 @@ func (c *Context) specFigure(id, title, paperClaim string, board *hw.Board,
 	if err != nil {
 		return Experiment{}, err
 	}
-	errs, mean, worst, err := c.specErrors(tuned, ws)
+	errs, mean, worst, err := c.SpecErrors(tuned, ws)
 	if err != nil {
 		return Experiment{}, err
 	}
 	// Context row: how the untuned public model fares on the same held-out
 	// workloads (not in the paper's figure, but frames the improvement).
-	_, untunedMean, _, err := c.specErrors(stages[0].Config, ws)
+	_, untunedMean, _, err := c.SpecErrors(stages[0].Config, ws)
 	if err != nil {
 		return Experiment{}, err
 	}
@@ -425,7 +453,7 @@ func (c *Context) perturbFigure(id, title, paperClaim string, board *hw.Board,
 	if err != nil {
 		return Experiment{}, err
 	}
-	_, tunedMean, _, err := c.specErrors(tuned, ws)
+	_, tunedMean, _, err := c.SpecErrors(tuned, ws)
 	if err != nil {
 		return Experiment{}, err
 	}

@@ -144,6 +144,11 @@ func (t *Tuner) Run() (*Result, error) {
 	var elites []*candidate
 	for j := 1; j <= iterations && t.used < t.opt.Budget; j++ {
 		left := t.opt.Budget - t.used
+		// Racing needs at least two candidates seen on FirstTest instances;
+		// with less budget than that left, stop rather than overspend.
+		if left < 2*t.opt.FirstTest {
+			break
+		}
 		iterBudget := left / (iterations - j + 1)
 		perConfig := t.opt.FirstTest + 4
 		nNew := iterBudget / perConfig
@@ -166,6 +171,15 @@ func (t *Tuner) Run() (*Result, error) {
 			}
 			seen[key] = true
 			cands = append(cands, t.candidateFor(cfg, key))
+		}
+		// Affordability (the FirstTest guarantee): every raced candidate
+		// must be evaluable on the first FirstTest instances without
+		// exceeding the budget, so trim the newest samples first (elites
+		// sit at the front and their early instances are often already
+		// paid for). This keeps Evaluations <= Budget exact instead of
+		// overshooting by O(candidates) on the final race.
+		if max := left / t.opt.FirstTest; len(cands) > max {
+			cands = cands[:max]
 		}
 
 		survivors, err := t.race(j, cands)
@@ -240,11 +254,34 @@ func (t *Tuner) completeAll(c *candidate) {
 			missing = append(missing, i)
 		}
 	}
+	if left := t.opt.Budget - t.used; len(missing) > left {
+		// Finalizing the winner must not overspend either; the mean cost
+		// is taken over whatever instances the budget covered.
+		if left < 0 {
+			left = 0
+		}
+		missing = missing[:left]
+	}
 	t.evalBatch([]*candidate{c}, missing)
 }
 
+// pending counts the evaluations one instance step would charge: the alive
+// candidates whose cost on inst is still unknown.
+func (t *Tuner) pending(cands []*candidate, inst int) int {
+	n := 0
+	for _, c := range cands {
+		if math.IsNaN(c.costs[inst]) {
+			n++
+		}
+	}
+	return n
+}
+
 // evalBatch evaluates every (candidate, instance) pair that is still NaN,
-// in parallel, and charges the budget.
+// in parallel, and charges the budget. The job list is trimmed to the
+// remaining budget as a final invariant — callers size their batches so
+// the trim never splits an instance step that a statistical test will
+// read, but t.used <= Budget must hold unconditionally.
 func (t *Tuner) evalBatch(cands []*candidate, instances []int) {
 	type job struct {
 		c    *candidate
@@ -257,6 +294,12 @@ func (t *Tuner) evalBatch(cands []*candidate, instances []int) {
 				jobs = append(jobs, job{c, inst})
 			}
 		}
+	}
+	if left := t.opt.Budget - t.used; len(jobs) > left {
+		if left < 0 {
+			left = 0
+		}
+		jobs = jobs[:left]
 	}
 	if len(jobs) == 0 {
 		return

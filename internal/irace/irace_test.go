@@ -130,14 +130,82 @@ func TestTunerRespectsBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Small overshoot is allowed (final race step + completing the best),
-	// but not more than one extra race row.
-	slack := eval.instances + 20
-	if res.Evaluations > 400+slack {
+	// The budget is a hard cap: no generation-batch overshoot, no extra
+	// finalization spend.
+	if res.Evaluations > 400 {
 		t.Errorf("used %d evaluations for budget 400", res.Evaluations)
 	}
 	if int(eval.calls.Load()) != res.Evaluations {
 		t.Errorf("recorded %d evals but evaluator saw %d (cache mismatch)", res.Evaluations, eval.calls.Load())
+	}
+}
+
+// TestEvaluationsNeverExceedBudget is the regression test for the batch
+// overspend: race() used to check the budget only at the top of each
+// instance step and then charge a whole generation×instance batch, so
+// Evaluations could exceed Budget by O(candidates). The cap must now hold
+// exactly, across seeds, budget sizes and parallelism, with the evaluator
+// call count agreeing with the accounting.
+func TestEvaluationsNeverExceedBudget(t *testing.T) {
+	for _, budget := range []int{25, 60, 150, 400, 1000} {
+		for seed := int64(0); seed < 6; seed++ {
+			space, eval := testSpace(t, 5, 7)
+			tuner, err := New(space, eval, Options{Budget: budget, Seed: seed, Parallelism: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tuner.Run()
+			if err != nil {
+				// Degenerate budgets may legitimately be too small to
+				// race at all; they must fail, not overspend.
+				if budget >= 2*5 { // 2 candidates × FirstTest default
+					t.Errorf("budget %d seed %d: %v", budget, seed, err)
+				}
+				continue
+			}
+			if res.Evaluations > budget {
+				t.Errorf("budget %d seed %d: used %d evaluations", budget, seed, res.Evaluations)
+			}
+			if got := int(eval.calls.Load()); got != res.Evaluations {
+				t.Errorf("budget %d seed %d: recorded %d evals, evaluator saw %d",
+					budget, seed, res.Evaluations, got)
+			}
+			if res.Best == nil {
+				t.Errorf("budget %d seed %d: no best returned", budget, seed)
+			}
+		}
+	}
+}
+
+// nanEval poisons one instance with NaN cost; the race must surface the
+// Friedman NaN error instead of racing on an undefined rank permutation.
+type nanEval struct {
+	space     *Space
+	instances int
+}
+
+func (e *nanEval) NumInstances() int { return e.instances }
+
+func (e *nanEval) Cost(cfg Assignment, instance int) float64 {
+	if instance == 3 {
+		return math.NaN()
+	}
+	c := 0.0
+	for _, p := range e.space.Params {
+		idx := valueIndex(p, cfg)
+		c += float64(idx * idx)
+	}
+	return c + float64(instance)
+}
+
+func TestNaNCostSurfacesAsError(t *testing.T) {
+	space, _ := testSpace(t, 4, 6)
+	tuner, err := New(space, &nanEval{space: space, instances: 12}, Options{Budget: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.Run(); err == nil {
+		t.Error("NaN cost did not surface as an error")
 	}
 }
 

@@ -19,7 +19,11 @@ func (t *Tuner) race(iteration int, cands []*candidate) ([]*candidate, error) {
 	order := t.rng.Perm(t.eval.NumInstances())
 
 	for step, inst := range order {
-		if t.used >= t.opt.Budget && step >= t.opt.FirstTest {
+		// Stop once the next instance step no longer fits in the budget.
+		// During the first FirstTest steps affordability is guaranteed by
+		// the candidate trim in Run, so every candidate reaches the first
+		// statistical test fully evaluated.
+		if step >= t.opt.FirstTest && t.opt.Budget-t.used < t.pending(alive, inst) {
 			break
 		}
 		t.evalBatch(alive, []int{inst})

@@ -1,0 +1,224 @@
+// Package scenario turns every experiment this repository can run into a
+// declarative, manifest-driven unit of work. A scenario is a named spec —
+// (board/platform × workload or micro-benchmark suite × tuner options ×
+// analysis stage) — that expands into a deterministic, dependency-annotated
+// list of runnable units. The expansion order is globally fixed, which is
+// what makes fleet features sound:
+//
+//   - sharding: Shard(units, i, n) deterministically partitions the unit
+//     list into contiguous blocks, so the concatenated outputs of shards
+//     1/n..n/n are byte-identical to an unsharded run;
+//   - resume: the engine checkpoints the shared simulation cache
+//     (internal/simcache) after every unit, so a killed sweep restarted
+//     with the same checkpoint replays at ~100% cache hits;
+//   - manifests: scenario specs round-trip through JSON (LoadManifest /
+//     SaveManifest), so adding a scenario to a sweep is data, not code.
+//
+// The registry covers the paper's own tables and figures (Table I/II,
+// Fig. 2, Figs. 4–8, the staged-validation narrative) plus cross-product
+// scenarios the paper's fixed pipeline cannot express: tune-on-one-core /
+// validate-on-the-other transfer studies, tuner budget-sweep ablations,
+// and measurement-noise sweeps.
+package scenario
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Kinds of analysis a scenario can request. The paper kinds map 1:1 onto
+// expt.Context experiments; the extra kinds are implemented in extra.go.
+const (
+	KindTable1      = "table1"
+	KindTable2      = "table2"
+	KindFig2        = "fig2"
+	KindFig4        = "fig4"
+	KindFig5        = "fig5"
+	KindFig6        = "fig6"
+	KindFig7        = "fig7"
+	KindFig8        = "fig8"
+	KindStaged      = "staged"
+	KindTransfer    = "transfer"     // tune on TuneCore, validate on EvalCore
+	KindBudgetSweep = "budget-sweep" // one tuning round per Budgets entry
+	KindNoiseSweep  = "noise-sweep"  // re-measure + tune per NoiseLevels entry
+)
+
+// paperKinds are the experiments of the paper itself, in paper order; the
+// reserved scenario pattern "all" selects exactly these, so `-scenario all`
+// output matches the classic `-run all` byte for byte.
+var paperKinds = []string{
+	KindTable1, KindTable2, KindFig2, KindFig4, KindFig5,
+	KindFig6, KindFig7, KindFig8, KindStaged,
+}
+
+// Spec is one declarative scenario. Zero-valued fields inherit the sweep's
+// global options (budgets, seed) at expansion time.
+type Spec struct {
+	// Name uniquely identifies the scenario; it is the `-scenario`
+	// selector and the rendered experiment ID, so it is restricted to
+	// glob-safe characters (lowercase letters, digits, ., -, _).
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Kind selects the analysis stage (one of the Kind* constants).
+	Kind string `json:"kind"`
+	// Core selects the board for single-board kinds: "a53" or "a72".
+	Core string `json:"core,omitempty"`
+	// TuneCore/EvalCore are the transfer kind's cross product: the model
+	// is tuned against TuneCore's measurements and validated on
+	// EvalCore's held-out workloads.
+	TuneCore string `json:"tune_core,omitempty"`
+	EvalCore string `json:"eval_core,omitempty"`
+	// Budget overrides the irace budget for this scenario's tuning
+	// rounds (0 inherits the sweep default).
+	Budget int `json:"budget,omitempty"`
+	// Budgets are the sweep points of a budget-sweep scenario, one unit
+	// each.
+	Budgets []int `json:"budgets,omitempty"`
+	// NoiseLevels are the measurement-noise amplitudes of a noise-sweep
+	// scenario, one unit each (relative, 0.01 = ±1%; max 0.2).
+	NoiseLevels []float64 `json:"noise_levels,omitempty"`
+	// SeedOffset decorrelates this scenario's tuner seed from the sweep
+	// seed (unit seed = sweep seed + SeedOffset).
+	SeedOffset int64 `json:"seed_offset,omitempty"`
+}
+
+var nameRe = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
+
+func validCore(c string) bool { return c == "a53" || c == "a72" }
+
+// Validate checks the spec is well-formed before expansion.
+func (s Spec) Validate() error {
+	if !nameRe.MatchString(s.Name) {
+		return fmt.Errorf("scenario: invalid name %q (want [a-z0-9._-]+)", s.Name)
+	}
+	switch s.Kind {
+	case KindTable1, KindTable2, KindFig2, KindFig4, KindFig5,
+		KindFig6, KindFig7, KindFig8, KindStaged:
+		// Analysis stage fully determined by the kind.
+	case KindTransfer:
+		if !validCore(s.TuneCore) || !validCore(s.EvalCore) {
+			return fmt.Errorf("scenario %s: transfer needs tune_core and eval_core in {a53, a72}", s.Name)
+		}
+		if s.TuneCore == s.EvalCore {
+			return fmt.Errorf("scenario %s: transfer with tune_core == eval_core is the plain validation pipeline", s.Name)
+		}
+	case KindBudgetSweep:
+		if !validCore(s.Core) {
+			return fmt.Errorf("scenario %s: budget-sweep needs core in {a53, a72}", s.Name)
+		}
+		if len(s.Budgets) == 0 {
+			return fmt.Errorf("scenario %s: budget-sweep needs at least one budget", s.Name)
+		}
+		for _, b := range s.Budgets {
+			if b <= 0 {
+				return fmt.Errorf("scenario %s: non-positive budget %d", s.Name, b)
+			}
+		}
+	case KindNoiseSweep:
+		if !validCore(s.Core) {
+			return fmt.Errorf("scenario %s: noise-sweep needs core in {a53, a72}", s.Name)
+		}
+		if len(s.NoiseLevels) == 0 {
+			return fmt.Errorf("scenario %s: noise-sweep needs at least one noise level", s.Name)
+		}
+		for _, v := range s.NoiseLevels {
+			if v < 0 || v > 0.2 {
+				return fmt.Errorf("scenario %s: noise level %v outside [0, 0.2]", s.Name, v)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %q", s.Name, s.Kind)
+	}
+	if s.Budget < 0 {
+		return fmt.Errorf("scenario %s: negative budget", s.Name)
+	}
+	return nil
+}
+
+// Registry returns the built-in scenarios: the paper set in paper order,
+// then the cross-product extras. The slice is freshly allocated; callers
+// may append or override (see Merge).
+func Registry() []Spec {
+	specs := []Spec{
+		{Name: "table1", Kind: KindTable1, Description: "Table I: the micro-benchmark suite and dynamic instruction counts"},
+		{Name: "table2", Kind: KindTable2, Description: "Table II: synthetic SPEC CPU2017 region workloads"},
+		{Name: "fig2", Kind: KindFig2, Core: "a53", Description: "iterated-racing elimination dynamics on the A53"},
+		{Name: "fig4", Kind: KindFig4, Core: "a53", Description: "micro-benchmark CPI error, untuned vs tuned (A53)"},
+		{Name: "fig5", Kind: KindFig5, Core: "a53", Description: "SPEC CPI error of the tuned in-order model"},
+		{Name: "fig6", Kind: KindFig6, Core: "a72", Description: "SPEC CPI error of the tuned out-of-order model"},
+		{Name: "fig7", Kind: KindFig7, Core: "a53", Description: "close-to-optimum but inaccurate A53 model"},
+		{Name: "fig8", Kind: KindFig8, Core: "a72", Description: "close-to-optimum but inaccurate A72 model"},
+		{Name: "staged", Kind: KindStaged, Description: "mean error per validation stage (Sec. IV-B)"},
+		{Name: "transfer-a53-to-a72", Kind: KindTransfer, TuneCore: "a53", EvalCore: "a72",
+			Description: "model tuned on the A53, validated on the A72's held-out workloads"},
+		{Name: "transfer-a72-to-a53", Kind: KindTransfer, TuneCore: "a72", EvalCore: "a53",
+			Description: "model tuned on the A72, validated on the A53's held-out workloads"},
+		{Name: "budget-sweep-a53", Kind: KindBudgetSweep, Core: "a53",
+			Budgets:     []int{300, 600, 1200, 2400},
+			Description: "tuned A53 suite error as a function of the racing budget"},
+		{Name: "noise-sweep-a53", Kind: KindNoiseSweep, Core: "a53",
+			NoiseLevels: []float64{0, 0.01, 0.03, 0.05}, Budget: 600, SeedOffset: 900,
+			Description: "tuning robustness under increasing measurement noise"},
+	}
+	return specs
+}
+
+// Merge overlays extra specs (e.g. from a manifest) on base: a spec whose
+// name already exists replaces it in place, new names append in order.
+func Merge(base, extra []Spec) []Spec {
+	out := append([]Spec(nil), base...)
+	idx := map[string]int{}
+	for i, s := range out {
+		idx[s.Name] = i
+	}
+	for _, s := range extra {
+		if i, ok := idx[s.Name]; ok {
+			out[i] = s
+			continue
+		}
+		idx[s.Name] = len(out)
+		out = append(out, s)
+	}
+	return out
+}
+
+// checkUnique rejects duplicate scenario names.
+func checkUnique(specs []Spec) error {
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			return fmt.Errorf("scenario: duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// PaperSet returns the names of the scenarios reproducing the paper's own
+// evaluation, in paper order — what the reserved pattern "all" selects.
+func PaperSet(specs []Spec) []string {
+	inPaper := map[string]bool{}
+	for _, k := range paperKinds {
+		inPaper[k] = true
+	}
+	var names []string
+	for _, s := range specs {
+		if inPaper[s.Kind] {
+			names = append(names, s.Name)
+		}
+	}
+	// Paper order, not registry order, in case a manifest reordered them.
+	kindPos := map[string]int{}
+	for i, k := range paperKinds {
+		kindPos[k] = i
+	}
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	sort.SliceStable(names, func(a, b int) bool {
+		return kindPos[byName[names[a]].Kind] < kindPos[byName[names[b]].Kind]
+	})
+	return names
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"racesim/internal/expt"
+)
+
+func TestRegistryValidAndUnique(t *testing.T) {
+	specs := Registry()
+	if err := checkUnique(specs); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("registry spec %s: %v", s.Name, err)
+		}
+	}
+	if got := PaperSet(specs); !reflect.DeepEqual(got, expt.IDs()) {
+		t.Errorf("paper set %v, want the expt experiment IDs %v", got, expt.IDs())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Kind: KindTable1},
+		{Name: "Has Space", Kind: KindTable1},
+		{Name: "x", Kind: "nope"},
+		{Name: "x", Kind: KindTransfer, TuneCore: "a53", EvalCore: "a53"},
+		{Name: "x", Kind: KindTransfer, TuneCore: "a53", EvalCore: "m1"},
+		{Name: "x", Kind: KindBudgetSweep, Core: "a53"},
+		{Name: "x", Kind: KindBudgetSweep, Core: "a53", Budgets: []int{100, 0}},
+		{Name: "x", Kind: KindNoiseSweep, Core: "a53"},
+		{Name: "x", Kind: KindNoiseSweep, Core: "a53", NoiseLevels: []float64{0.5}},
+		{Name: "x", Kind: KindFig2, Budget: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	a, err := Expand(Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("expansions differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Index != i || b[i].Index != i {
+			t.Errorf("unit %d: %q/%d vs %q/%d", i, a[i].ID, a[i].Index, b[i].ID, b[i].Index)
+		}
+		if !reflect.DeepEqual(a[i].Deps, b[i].Deps) {
+			t.Errorf("unit %s deps differ: %v vs %v", a[i].ID, a[i].Deps, b[i].Deps)
+		}
+	}
+	// The paper scenarios expand to exactly the classic experiment list.
+	for i, id := range expt.IDs() {
+		if a[i].ID != id {
+			t.Errorf("unit %d = %s, want %s", i, a[i].ID, id)
+		}
+	}
+	if _, err := Expand([]Spec{{Name: "d", Kind: KindTable1}, {Name: "d", Kind: KindTable2}}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	units, err := Expand(Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		var union []Unit
+		for i := 1; i <= n; i++ {
+			union = append(union, Shard(units, i, n)...)
+		}
+		if len(union) != len(units) {
+			t.Fatalf("n=%d: union has %d units, want %d", n, len(union), len(units))
+		}
+		for k := range units {
+			if union[k].ID != units[k].ID {
+				t.Errorf("n=%d: unit %d = %s, want %s (order not preserved)", n, k, union[k].ID, units[k].ID)
+			}
+		}
+	}
+	// More shards than units: every unit still lands in exactly one shard.
+	small := units[:3]
+	var union []Unit
+	for i := 1; i <= 7; i++ {
+		union = append(union, Shard(small, i, 7)...)
+	}
+	if len(union) != len(small) {
+		t.Errorf("oversharded union has %d units, want %d", len(union), len(small))
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := ParseShard(""); err != nil || i != 1 || n != 1 {
+		t.Errorf("empty shard: %d/%d, %v", i, n, err)
+	}
+	if i, n, err := ParseShard("2/3"); err != nil || i != 2 || n != 3 {
+		t.Errorf("2/3: %d/%d, %v", i, n, err)
+	}
+	for _, s := range []string{"0/3", "4/3", "x/3", "3", "-1/2"} {
+		if _, _, err := ParseShard(s); err == nil {
+			t.Errorf("shard %q accepted", s)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	specs := Registry()
+	all, err := Select(specs, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(Names(all), expt.IDs()) {
+		t.Errorf("'all' selected %v", Names(all))
+	}
+	tr, err := Select(specs, "transfer-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 {
+		t.Errorf("transfer-* selected %v", Names(tr))
+	}
+	// Dedup: fig4 appears once even if matched twice.
+	both, err := Select(specs, "fig4,all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(both); n != len(expt.IDs()) {
+		t.Errorf("fig4,all selected %d specs: %v", n, Names(both))
+	}
+	if both[0].Name != "fig4" {
+		t.Errorf("pattern order not respected: first is %s", both[0].Name)
+	}
+	if _, err := Select(specs, "nope-*"); err == nil {
+		t.Error("unmatched pattern accepted")
+	}
+	if _, err := Select(specs, ""); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	base := Registry()
+	override := Spec{Name: "fig2", Kind: KindFig2, Core: "a53", Description: "patched"}
+	added := Spec{Name: "night-sweep", Kind: KindBudgetSweep, Core: "a72", Budgets: []int{100}}
+	merged := Merge(base, []Spec{override, added})
+	if len(merged) != len(base)+1 {
+		t.Fatalf("merged %d specs, want %d", len(merged), len(base)+1)
+	}
+	for i, s := range merged[:len(base)] {
+		if s.Name != base[i].Name {
+			t.Errorf("merge reordered: %d = %s, want %s", i, s.Name, base[i].Name)
+		}
+	}
+	if merged[2].Description != "patched" {
+		t.Error("override did not replace in place")
+	}
+	if merged[len(merged)-1].Name != "night-sweep" {
+		t.Error("new spec not appended")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	specs := Registry()
+	if err := SaveManifest(path, specs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, specs) {
+		t.Errorf("round trip changed specs:\n%+v\nvs\n%+v", loaded, specs)
+	}
+	if err := SaveManifest(filepath.Join(dir, "bad.json"), []Spec{{Name: "x", Kind: "nope"}}); err == nil {
+		t.Error("invalid spec saved")
+	}
+	if _, err := LoadManifest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing manifest loaded")
+	}
+}
+
+func TestArtifacts(t *testing.T) {
+	units, err := Expand(Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := Artifacts(units)
+	joined := strings.Join(arts, " ")
+	for _, want := range []string{"stages:a53", "stages:a72", "spec:a53", "spec:a72", "measure:a53"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("artifacts %v missing %s", arts, want)
+		}
+	}
+	for i := 1; i < len(arts); i++ {
+		if arts[i-1] >= arts[i] {
+			t.Errorf("artifacts not sorted: %v", arts)
+		}
+	}
+}

@@ -61,6 +61,23 @@ func ValidatePath(path string) error {
 	return nil
 }
 
+// LoadChecked is the driver-facing load path shared by every binary:
+// validate that path is plausibly writable (so a typo'd cache flag fails
+// before hours of work, not after), merge the snapshot, and report both
+// accepted and checksum-rejected entry counts so callers can warn about
+// corruption without re-deriving it from Stats.
+func (c *Cache) LoadChecked(path string) (accepted int, rejected uint64, err error) {
+	if err := ValidatePath(path); err != nil {
+		return 0, 0, err
+	}
+	before := c.Stats().Rejected
+	n, err := c.LoadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, c.Stats().Rejected - before, nil
+}
+
 // LoadFile merges a snapshot written by SaveFile into the cache. A missing
 // file is not an error (first run is simply cold). Entries failing the
 // checksum are dropped and counted in Stats.Rejected; the number of

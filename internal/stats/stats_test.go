@@ -213,3 +213,73 @@ func TestRanksSumProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFriedmanRejectsNaNAndBadAlpha(t *testing.T) {
+	ok := [][]float64{{1, 2, 3}, {2, 1, 3}, {1, 3, 2}}
+	if _, err := Friedman(ok, 0.05); err != nil {
+		t.Fatalf("clean matrix rejected: %v", err)
+	}
+	bad := [][]float64{{1, 2, 3}, {2, math.NaN(), 3}, {1, 3, 2}}
+	if _, err := Friedman(bad, 0.05); err == nil {
+		t.Error("NaN cost accepted: mean ranks would be garbage")
+	}
+	// +Inf is a legitimate cost (invalid configurations lose every race)
+	// and must still rank deterministically.
+	inf := [][]float64{{1, 2, math.Inf(1)}, {2, 1, math.Inf(1)}, {1, 3, math.Inf(1)}}
+	fr, err := Friedman(inf, 0.05)
+	if err != nil {
+		t.Fatalf("+Inf cost rejected: %v", err)
+	}
+	if fr.MeanRanks[2] != 3 {
+		t.Errorf("Inf treatment mean rank %v, want 3 (always last)", fr.MeanRanks[2])
+	}
+	ragged := [][]float64{{1, 2, 3}, {2, 1}}
+	if _, err := Friedman(ragged, 0.05); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	for _, a := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := Friedman(ok, a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Standard two-sided critical-value tables: t(p, df).
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 6.3138},
+		{0.975, 1, 12.7062},
+		{0.995, 1, 63.6567},
+		{0.9995, 1, 636.6192}, // beyond the old fixed bracket of 100
+		{0.975, 2, 4.3027},
+		{0.975, 5, 2.5706},
+		{0.975, 10, 2.2281},
+		{0.975, 30, 2.0423},
+		{0.95, 10, 1.8125},
+		{0.99, 7, 2.9980},
+	}
+	for _, c := range cases {
+		got := tQuantile(c.p, c.df)
+		if math.Abs(got-c.want)/c.want > 1e-3 {
+			t.Errorf("tQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+		// Symmetry: the lower-tail quantile is the negated upper tail,
+		// not the old silent 0.
+		if lo := tQuantile(1-c.p, c.df); math.Abs(lo+got) > 1e-9 {
+			t.Errorf("tQuantile(%v, %d) = %v, want %v", 1-c.p, c.df, lo, -got)
+		}
+	}
+	if tQuantile(0.5, 7) != 0 {
+		t.Error("median quantile should be 0")
+	}
+	if !math.IsInf(tQuantile(1, 3), 1) || !math.IsInf(tQuantile(0, 3), -1) {
+		t.Error("p=0/1 should return ∓Inf")
+	}
+	if !math.IsNaN(tQuantile(0.9, 0)) {
+		t.Error("df<=0 should return NaN")
+	}
+}

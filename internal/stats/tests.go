@@ -69,20 +69,31 @@ type FriedmanResult struct {
 
 // Friedman runs the Friedman test on an n-blocks × k-treatments matrix of
 // costs (blocks = benchmark instances, treatments = configurations). It
-// needs n >= 2 blocks and k >= 2 treatments.
+// needs n >= 2 blocks, k >= 2 treatments, alpha in (0, 1), and finite or
+// +Inf costs: a NaN would make the rank permutation undefined (Ranks
+// sorts with <, under which NaN is unordered), silently producing garbage
+// mean ranks, so it is rejected explicitly instead.
 func Friedman(costs [][]float64, alpha float64) (FriedmanResult, error) {
 	n := len(costs)
 	if n < 2 {
 		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs >= 2 blocks, got %d", n)
+	}
+	if !(alpha > 0 && alpha < 1) { // also rejects NaN
+		return FriedmanResult{}, fmt.Errorf("stats: Friedman alpha %v outside (0, 1)", alpha)
 	}
 	k := len(costs[0])
 	if k < 2 {
 		return FriedmanResult{}, fmt.Errorf("stats: Friedman needs >= 2 treatments, got %d", k)
 	}
 	sumRanks := make([]float64, k)
-	for _, row := range costs {
+	for i, row := range costs {
 		if len(row) != k {
-			return FriedmanResult{}, fmt.Errorf("stats: ragged cost matrix")
+			return FriedmanResult{}, fmt.Errorf("stats: ragged cost matrix: block %d has %d treatments, want %d", i, len(row), k)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return FriedmanResult{}, fmt.Errorf("stats: Friedman cost is NaN at block %d, treatment %d", i, j)
+			}
 		}
 		for j, r := range Ranks(row) {
 			sumRanks[j] += r
@@ -122,13 +133,33 @@ func Friedman(costs [][]float64, alpha float64) (FriedmanResult, error) {
 }
 
 // tQuantile returns the p-quantile of the t distribution with df degrees
-// of freedom via bisection on StudentTSF.
+// of freedom via bisection on StudentTSF. Lower-tail quantiles use the
+// distribution's symmetry (the old code silently returned 0 for any
+// p <= 0.5); the upper bracket grows geometrically until it encloses the
+// quantile, since a fixed cap clips heavy-tailed cases such as df = 1
+// with tiny alpha (t(0.9995, 1) ≈ 636.6 > 100).
 func tQuantile(p float64, df int) float64 {
-	if p <= 0.5 {
+	switch {
+	case df <= 0 || math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p == 0.5:
 		return 0
+	case p < 0.5:
+		return -tQuantile(1-p, df)
 	}
 	target := 2 * (1 - p) // two-sided tail mass
-	lo, hi := 0.0, 100.0
+	hi := 1.0
+	for StudentTSF(hi, df) > target && hi < 1e15 {
+		hi *= 2
+	}
+	lo := hi / 2
+	if hi <= 1 {
+		lo = 0
+	}
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
 		if StudentTSF(mid, df) > target {
