@@ -16,7 +16,7 @@ import (
 
 // The benchmarks below regenerate each table/figure of the paper at a
 // reduced scale, so `go test -bench .` both exercises and times the full
-// reproduction pipeline. cmd/experiments produces the full renderings.
+// reproduction pipeline. `racesim experiments` produces the full renderings.
 
 func benchPlatform(b *testing.B) *hw.Platform {
 	b.Helper()
@@ -133,7 +133,7 @@ func specMeanError(b *testing.B, cfg sim.Config, ws []perturb.Workload) float64 
 // BenchmarkFig5SpecA53 evaluates a validated in-order model on the SPEC
 // workloads (Figure 5). The board's true config stands in for the tuned
 // model so the bench isolates evaluation cost; the full tuned-model figure
-// comes from cmd/experiments.
+// comes from `racesim experiments`.
 func BenchmarkFig5SpecA53(b *testing.B) {
 	p := benchPlatform(b)
 	ws := specWorkloads(b, p.A53, 30_000)

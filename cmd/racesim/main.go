@@ -1,217 +1,316 @@
-// Command racesim runs workloads through a simulator configuration and
-// prints the timing result — the equivalent of one (or a batch of) Sniper
-// runs.
+// Command racesim is the single entry point to the reproduction: every
+// workflow that used to be its own binary is a subcommand over the shared
+// execution engine (internal/engine).
 //
-// Usage:
+//	racesim run -preset public-a53 -ubench MD
+//	racesim run -config tuned.json -workload mcf,xz -parallelism 4
+//	racesim experiments -scenario all -shard 1/2 -resume
+//	racesim validate -core a53 -budget1 4000 -budget2 6000 -out tuned.json
+//	racesim ubench -list
+//	racesim serve -addr :8080 -cache simcache.json
 //
-//	racesim -preset public-a53 -ubench MD
-//	racesim -preset public-a72 -workload mcf -events 200000
-//	racesim -config tuned.json -workload povray
-//	racesim -preset public-a53 -trace path.rift
-//	racesim -preset public-a53 -ubench all -parallelism 8
-//	racesim -preset public-a53 -workload mcf,xz,povray -cache simcache.json
-//
-// -ubench and -workload accept a single name, a comma-separated list, or
-// "all". A single trace prints the detailed counter breakdown; a batch
-// prints one summary row per trace, in listed order regardless of
-// -parallelism. -cache persists simulation results across invocations.
+// For compatibility with the historical single-purpose binary, invoking
+// racesim with flags and no subcommand ("racesim -preset ... -ubench MD")
+// behaves as `racesim run`. Every batch subcommand accepts the shared
+// lifecycle flags -parallelism, -cache, -cpuprofile and -memprofile
+// (serve has its own lifecycle: -workers, -queue-depth, -drain-timeout);
+// artifacts go to stdout, progress and cache statistics to stderr
+// (except validate, which historically streams progress on stdout). See
+// docs/cli.md for the full reference, including the serve HTTP API and
+// job JSON schema.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"runtime"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"racesim/internal/expt"
-	"racesim/internal/par"
-	"racesim/internal/prof"
-	"racesim/internal/sim"
-	"racesim/internal/simcache"
-	"racesim/internal/trace"
-	"racesim/internal/ubench"
-	"racesim/internal/workload"
+	"racesim/internal/engine"
 )
 
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: racesim <subcommand> [flags]
+
+subcommands:
+  run          simulate micro-benchmarks, workloads or a trace on one configuration
+  experiments  regenerate the paper's tables/figures and run scenario sweeps
+  validate     run the full hardware-validation pipeline for one core
+  ubench       inspect the Table I micro-benchmark suite
+  serve        long-lived HTTP job server over a shared warm simulation cache
+
+Run "racesim <subcommand> -h" for the subcommand's flags.
+Bare flags ("racesim -preset ...") are shorthand for "racesim run".
+`)
+}
+
 func main() {
-	var (
-		preset      = flag.String("preset", "public-a53", "built-in config: public-a53 or public-a72")
-		cfgPath     = flag.String("config", "", "JSON config file (overrides -preset)")
-		benchNames  = flag.String("ubench", "", "micro-benchmark name(s), comma-separated, or \"all\" (Table I)")
-		wlNames     = flag.String("workload", "", "SPEC-like workload name(s), comma-separated, or \"all\" (Table II)")
-		trPath      = flag.String("trace", "", "RIFT trace file to replay")
-		events      = flag.Int("events", 100_000, "workload trace length")
-		scale       = flag.Float64("scale", 0.01, "micro-benchmark scale factor")
-		seed        = flag.Int64("seed", 0, "workload generator seed")
-		parallelism = flag.Int("parallelism", 0, "concurrent simulations for batches (0 = GOMAXPROCS)")
-		cachePath   = flag.String("cache", "", "JSON file persisting the simulation cache across runs")
-		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-	)
-	flag.Parse()
-	err := prof.Run(*cpuprofile, *memprofile, func() error {
-		return run(*preset, *cfgPath, *benchNames, *wlNames, *trPath, *events, *scale, *seed, *parallelism, *cachePath)
-	})
+	args := os.Args[1:]
+	sub := "run"
+	switch {
+	case len(args) == 0:
+		usage()
+		os.Exit(2)
+	case strings.HasPrefix(args[0], "-"):
+		// Historical spelling: the old standalone racesim binary took run
+		// flags directly.
+		if args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+			usage()
+			os.Exit(0)
+		}
+	default:
+		sub = args[0]
+		args = args[1:]
+	}
+
+	var err error
+	switch sub {
+	case "run":
+		err = cmdRun(args)
+	case "experiments":
+		err = cmdExperiments(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "ubench":
+		err = cmdUbench(args)
+	case "serve":
+		err = cmdServe(args)
+	case "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "racesim: unknown subcommand %q\n\n", sub)
+		usage()
+		os.Exit(2)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "racesim:", err)
+		// Keep the historical per-binary error prefixes ("experiments:",
+		// "validate:", ...), which scripts grep for.
+		prefix := sub
+		if sub == "run" || sub == "serve" {
+			prefix = "racesim"
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
 		os.Exit(1)
 	}
 }
 
-// expand resolves a comma-separated name list, where "all" selects every
-// known name (in canonical order).
-func expand(arg string, all []string) []string {
-	if arg == "all" {
-		return all
-	}
-	var out []string
-	for _, n := range strings.Split(arg, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			out = append(out, n)
-		}
-	}
-	return out
+// lifecycleFlags registers the engine options every subcommand shares.
+func lifecycleFlags(fs *flag.FlagSet) (parallelism *int, cache, cpuprofile, memprofile *string) {
+	parallelism = fs.Int("parallelism", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cache = fs.String("cache", "", "JSON file persisting the simulation cache across runs")
+	cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	return
 }
 
-func gather(benchArg, wlArg, trPath string, events int, scale float64, seed int64,
-	parallelism int) ([]*trace.Trace, error) {
-	// Resolve names first (cheap, gives immediate errors), then generate
-	// the traces on the worker pool: emulation dominates batch startup.
-	var producers []func() (*trace.Trace, error)
-	if benchArg != "" {
-		var names []string
-		for _, b := range ubench.Suite() {
-			names = append(names, b.Name)
-		}
-		for _, n := range expand(benchArg, names) {
-			b, ok := ubench.ByName(n)
-			if !ok {
-				return nil, fmt.Errorf("unknown micro-benchmark %q (see cmd/ubench -list)", n)
-			}
-			producers = append(producers, func() (*trace.Trace, error) {
-				return b.Trace(ubench.Options{Scale: scale})
-			})
-		}
-	}
-	if wlArg != "" {
-		var names []string
-		for _, p := range workload.Profiles() {
-			names = append(names, p.Name)
-		}
-		for _, n := range expand(wlArg, names) {
-			p, ok := workload.ByName(n)
-			if !ok {
-				return nil, fmt.Errorf("unknown workload %q", n)
-			}
-			producers = append(producers, func() (*trace.Trace, error) {
-				return workload.Generate(p, workload.Options{Events: events, Seed: seed})
-			})
-		}
-	}
-	if trPath != "" {
-		producers = append(producers, func() (*trace.Trace, error) {
-			return trace.ReadFile(trPath)
-		})
-	}
-	if len(producers) == 0 {
-		return nil, fmt.Errorf("one of -ubench, -workload or -trace is required")
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	trs := make([]*trace.Trace, len(producers))
-	err := par.ForEach(len(producers), parallelism, func(i int) error {
-		tr, err := producers[i]()
-		if err != nil {
-			return err
-		}
-		trs[i] = tr
-		return nil
+// execute runs one job on the engine with streamed output.
+func execute(job engine.Job, parallelism int, cache, cpuprofile, memprofile string) error {
+	_, err := engine.Execute(job, engine.Options{
+		Parallelism: parallelism,
+		CachePath:   cache,
+		CPUProfile:  cpuprofile,
+		MemProfile:  memprofile,
+		Stdout:      os.Stdout,
+		Stderr:      os.Stderr,
+	})
+	return err
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("racesim run", flag.ExitOnError)
+	var (
+		preset     = fs.String("preset", "public-a53", "built-in config: public-a53 or public-a72")
+		cfgPath    = fs.String("config", "", "JSON config file (overrides -preset)")
+		benchNames = fs.String("ubench", "", "micro-benchmark name(s), comma-separated, or \"all\" (Table I)")
+		wlNames    = fs.String("workload", "", "SPEC-like workload name(s), comma-separated, or \"all\" (Table II)")
+		trPath     = fs.String("trace", "", "RIFT trace file to replay")
+		events     = fs.Int("events", 100_000, "workload trace length")
+		scale      = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed       = fs.Int64("seed", 0, "workload generator seed")
+	)
+	parallelism, cache, cpuprofile, memprofile := lifecycleFlags(fs)
+	fs.Parse(args)
+	return execute(engine.Job{
+		Kind: engine.KindRun,
+		Run: &engine.RunJob{
+			Preset:     *preset,
+			ConfigPath: *cfgPath,
+			Ubench:     *benchNames,
+			Workload:   *wlNames,
+			TracePath:  *trPath,
+			Events:     *events,
+			Scale:      *scale,
+			Seed:       *seed,
+		},
+	}, *parallelism, *cache, *cpuprofile, *memprofile)
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("racesim experiments", flag.ExitOnError)
+	var (
+		which        = fs.String("run", "", "experiment id or pattern ('all' = paper set)")
+		scenarioPat  = fs.String("scenario", "", "comma-separated scenario names/globs ('all' = paper set); see -list-scenarios")
+		listScen     = fs.Bool("list-scenarios", false, "list registered scenarios and exit")
+		shard        = fs.String("shard", "", "run shard i/n of the expanded unit list (deterministic contiguous partition)")
+		resume       = fs.Bool("resume", false, "checkpoint the simulation cache after every unit (implies a default -cache path)")
+		ckEvery      = fs.Duration("checkpoint-every", 10*time.Second, "background checkpoint period under -resume")
+		manifest     = fs.String("manifest", "", "overlay scenarios from this JSON manifest on the registry")
+		saveManifest = fs.String("save-manifest", "", "write the effective scenario registry to this manifest and exit")
+		scale        = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
+		events       = fs.Int("events", 60_000, "workload trace length")
+		budget1      = fs.Int("budget1", 2500, "irace budget, round 1")
+		budget2      = fs.Int("budget2", 3500, "irace budget, round 2")
+		seed         = fs.Int64("seed", 0, "seed")
+		out          = fs.String("out", "", "also write results to this file")
+		quiet        = fs.Bool("q", false, "suppress progress output")
+	)
+	parallelism, cache, cpuprofile, memprofile := lifecycleFlags(fs)
+	fs.Parse(args)
+	return execute(engine.Job{
+		Kind: engine.KindExperiments,
+		Experiments: &engine.ExperimentsJob{
+			Run:             *which,
+			Scenario:        *scenarioPat,
+			ListScenarios:   *listScen,
+			Shard:           *shard,
+			Resume:          *resume,
+			CheckpointEvery: ckEvery.String(),
+			Manifest:        *manifest,
+			SaveManifest:    *saveManifest,
+			Scale:           *scale,
+			Events:          *events,
+			Budget1:         *budget1,
+			Budget2:         *budget2,
+			Seed:            *seed,
+			OutPath:         *out,
+			Quiet:           *quiet,
+		},
+	}, *parallelism, *cache, *cpuprofile, *memprofile)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("racesim validate", flag.ExitOnError)
+	var (
+		coreK   = fs.String("core", "a53", "core to validate: a53 or a72")
+		budget1 = fs.Int("budget1", 3000, "irace budget for tuning round 1")
+		budget2 = fs.Int("budget2", 4000, "irace budget for tuning round 2")
+		scale   = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed    = fs.Int64("seed", 0, "tuner seed")
+		out     = fs.String("out", "", "write the tuned config JSON here")
+		quiet   = fs.Bool("q", false, "suppress progress output")
+	)
+	parallelism, cache, cpuprofile, memprofile := lifecycleFlags(fs)
+	fs.Parse(args)
+	return execute(engine.Job{
+		Kind: engine.KindValidate,
+		Validate: &engine.ValidateJob{
+			Core:    *coreK,
+			Budget1: *budget1,
+			Budget2: *budget2,
+			Scale:   *scale,
+			Seed:    *seed,
+			OutPath: *out,
+			Quiet:   *quiet,
+		},
+	}, *parallelism, *cache, *cpuprofile, *memprofile)
+}
+
+func cmdUbench(args []string) error {
+	fs := flag.NewFlagSet("racesim ubench", flag.ExitOnError)
+	var (
+		list    = fs.Bool("list", false, "list the suite")
+		dump    = fs.String("dump", "", "record a benchmark trace to -o")
+		out     = fs.String("o", "bench.rift", "output path for -dump")
+		compare = fs.String("compare", "", "compare a benchmark (or 'all') between board and model")
+		disasm  = fs.String("disasm", "", "print a benchmark's assembly listing")
+		coreK   = fs.String("core", "a53", "core for -compare: a53 or a72")
+		scale   = fs.Float64("scale", 0.01, "scale factor")
+		initArr = fs.Bool("init-arrays", false, "initialize arrays before the timed loop")
+	)
+	parallelism, cache, cpuprofile, memprofile := lifecycleFlags(fs)
+	fs.Parse(args)
+	return execute(engine.Job{
+		Kind: engine.KindUbench,
+		Ubench: &engine.UbenchJob{
+			List:       *list,
+			Dump:       *dump,
+			DumpOut:    *out,
+			Compare:    *compare,
+			Disasm:     *disasm,
+			Core:       *coreK,
+			Scale:      *scale,
+			InitArrays: *initArr,
+		},
+	}, *parallelism, *cache, *cpuprofile, *memprofile)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("racesim serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = fs.Int("workers", 1, "concurrent jobs (each fans simulations across -parallelism cores)")
+		queueDepth  = fs.Int("queue-depth", 64, "maximum queued jobs before POST /v1/jobs answers 503")
+		parallelism = fs.Int("parallelism", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+		cache       = fs.String("cache", "", "warm the shared cache from this snapshot at startup; saved on drain")
+		drainWait   = fs.Duration("drain-timeout", 10*time.Minute, "how long SIGTERM waits for running jobs before exiting")
+	)
+	fs.Parse(args)
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	srv, err := engine.NewServer(engine.ServerOptions{
+		Parallelism: *parallelism,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CachePath:   *cache,
+		Log:         logf,
 	})
 	if err != nil {
-		return nil, err
-	}
-	return trs, nil
-}
-
-func run(preset, cfgPath, benchArg, wlArg, trPath string, events int, scale float64, seed int64,
-	parallelism int, cachePath string) error {
-	var cfg sim.Config
-	switch {
-	case cfgPath != "":
-		var err error
-		cfg, err = sim.LoadConfig(cfgPath)
-		if err != nil {
-			return err
-		}
-	case preset == "public-a53":
-		cfg = sim.PublicA53()
-	case preset == "public-a72":
-		cfg = sim.PublicA72()
-	default:
-		return fmt.Errorf("unknown preset %q", preset)
-	}
-
-	trs, err := gather(benchArg, wlArg, trPath, events, scale, seed, parallelism)
-	if err != nil {
 		return err
 	}
 
-	cache := simcache.New()
-	if cachePath != "" {
-		if err := simcache.ValidatePath(cachePath); err != nil {
-			return err
-		}
-		if _, err := cache.LoadFile(cachePath); err != nil {
-			return err
-		}
-	}
-	runner := expt.NewRunner(cache, parallelism)
-	units := make([]expt.Unit, len(trs))
-	for i, tr := range trs {
-		units[i] = expt.Unit{Config: cfg, Trace: tr}
-	}
-	results, err := runner.RunAll(units)
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logf("serve: listening on http://%s (POST /v1/jobs)", ln.Addr())
 
-	if len(trs) == 1 {
-		tr, res := trs[0], results[0]
-		fmt.Printf("config:        %s (%s)\n", cfg.Name, cfg.Kind)
-		fmt.Printf("trace:         %s (%d instructions)\n", tr.Name, tr.Len())
-		fmt.Printf("cycles:        %d\n", res.Cycles)
-		fmt.Printf("CPI:           %.4f   (IPC %.4f)\n", res.CPI(), res.IPC())
-		fmt.Printf("branch MPKI:   %.2f   (mispredicts %d)\n",
-			res.Branch.MPKI(res.Instructions), res.Branch.Mispredicts())
-		fmt.Printf("L1D miss rate: %.2f%%  L2 miss rate: %.2f%%\n",
-			res.Mem.L1D.MissRate()*100, res.Mem.L2.MissRate()*100)
-		fmt.Printf("stalls:        front-end %d, data %d, structural %d cycles\n",
-			res.StallFrontEnd, res.StallData, res.StallStruct)
-	} else {
-		t := &expt.Table{
-			Title:   fmt.Sprintf("%s (%s): %d traces", cfg.Name, cfg.Kind, len(trs)),
-			Headers: []string{"trace", "insns", "cycles", "CPI", "br MPKI", "L1D miss", "L2 miss"},
-		}
-		for i, tr := range trs {
-			res := results[i]
-			t.AddRow(tr.Name, fmt.Sprintf("%d", tr.Len()), fmt.Sprintf("%d", res.Cycles),
-				fmt.Sprintf("%.4f", res.CPI()),
-				fmt.Sprintf("%.2f", res.Branch.MPKI(res.Instructions)),
-				fmt.Sprintf("%.2f%%", res.Mem.L1D.MissRate()*100),
-				fmt.Sprintf("%.2f%%", res.Mem.L2.MissRate()*100))
-		}
-		fmt.Print(t.Render())
+	// Graceful drain: stop accepting, let queued and running jobs finish,
+	// persist the warm cache, then exit. A second signal aborts.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		logf("serve: %v: draining (%d queued); signal again to abort", sig, srv.QueueLen())
 	}
-
-	if cachePath != "" {
-		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
-			st.Hits, st.Misses, st.HitRate()*100)
-		if err := cache.SaveFile(cachePath); err != nil {
-			return err
-		}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	go func() {
+		<-sigCh
+		logf("serve: second signal: aborting drain")
+		cancel()
+	}()
+	if err := srv.Drain(ctx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
 	return nil
 }

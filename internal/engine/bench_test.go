@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"testing"
+
+	"racesim/internal/simcache"
+)
+
+// BenchmarkEngineJobsWarmCache measures end-to-end engine job throughput
+// (jobs/sec) in the serve steady state: a small micro-benchmark suite
+// executed repeatedly against one shared warm cache, so every simulation
+// is answered from memory and the measured cost is the engine lifecycle
+// itself — job normalization, trace regeneration, runner dispatch, cache
+// lookups and artifact rendering. Recorded in BENCH_engine.json.
+func BenchmarkEngineJobsWarmCache(b *testing.B) {
+	cache := simcache.New()
+	job := Job{Kind: KindRun, Run: &RunJob{Ubench: "MD,CS1,MIP", Scale: 0.002}}
+	res, err := Execute(job, Options{Cache: cache, Capture: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := res.Artifact
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Execute(job, Options{Cache: cache, Capture: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Artifact != want {
+			b.Fatal("artifact drifted across warm executions")
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Misses != 3 {
+		b.Fatalf("warm loop was not pure cache hits: %+v", st)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkEngineExperimentsWarmCache times a warm single-scenario sweep
+// job (table2 — workload synthesis plus rendering, no tuner), the shape a
+// serve worker executes between cache refreshes.
+func BenchmarkEngineExperimentsWarmCache(b *testing.B) {
+	cache := simcache.New()
+	job := Job{Kind: KindExperiments, Experiments: &ExperimentsJob{
+		Scenario: "table2", Scale: 0.002, Events: 4000, Quiet: true,
+	}}
+	if _, err := Execute(job, Options{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(job, Options{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

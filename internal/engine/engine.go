@@ -1,0 +1,364 @@
+// Package engine owns the execution lifecycle every racesim entry point
+// used to re-implement: resolve options (parallelism, cache path, pprof
+// profiles, seed), open and persist the shared simulation cache, build the
+// experiment/scenario machinery, execute one typed Job — a single-config
+// run, the validation pipeline, an experiment/scenario sweep, or a
+// micro-benchmark suite inspection — and return a structured Result with
+// the rendered artifact.
+//
+// The `racesim` subcommands are each a flag parser in front of one
+// Execute call, and the long-lived HTTP server (server.go) submits the
+// same Job type from a worker pool over one warm cache, so batch and
+// service execution share every byte of lifecycle code. Jobs stream their
+// stdout/stderr exactly as the historical standalone binaries did —
+// rendered artifacts on stdout, timing and cache statistics on stderr —
+// which is what keeps sharded sweep outputs byte-identical across the
+// refactor; Execute additionally captures both streams into the Result
+// for callers (the server) that need them after the fact.
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"racesim/internal/prof"
+	"racesim/internal/simcache"
+)
+
+// Job kinds. Each selects exactly one of the Job's spec fields.
+const (
+	KindRun         = "run"         // simulate workloads on one configuration
+	KindValidate    = "validate"    // the full Fig. 1 validation pipeline
+	KindExperiments = "experiments" // paper tables/figures + scenario sweeps
+	KindUbench      = "ubench"      // Table I suite inspection/comparison
+)
+
+// Job is one typed unit of work the engine can execute. Kind selects the
+// spec; the matching pointer field carries the job's own knobs (the
+// lifecycle knobs — parallelism, cache, profiles — live in Options, so a
+// server can impose them fleet-wide). The zero value of every spec field
+// selects the same default the corresponding subcommand flag documents.
+type Job struct {
+	Kind        string          `json:"kind"`
+	Run         *RunJob         `json:"run,omitempty"`
+	Validate    *ValidateJob    `json:"validate,omitempty"`
+	Experiments *ExperimentsJob `json:"experiments,omitempty"`
+	Ubench      *UbenchJob      `json:"ubench,omitempty"`
+}
+
+// RunJob simulates one or more traces on one configuration — the classic
+// `racesim run` (née cmd/racesim) invocation.
+type RunJob struct {
+	// Preset names a built-in config ("public-a53", "public-a72");
+	// ConfigPath loads a JSON config file instead, and ConfigJSON inlines
+	// one (for HTTP clients with no shared filesystem). At most one of
+	// ConfigPath/ConfigJSON; empty Preset defaults to public-a53.
+	Preset     string          `json:"preset,omitempty"`
+	ConfigPath string          `json:"config_path,omitempty"`
+	ConfigJSON json.RawMessage `json:"config_json,omitempty"`
+	// Ubench/Workload name traces to run: a single name, a comma-separated
+	// list, or "all". TracePath replays a recorded RIFT file.
+	Ubench    string  `json:"ubench,omitempty"`
+	Workload  string  `json:"workload,omitempty"`
+	TracePath string  `json:"trace_path,omitempty"`
+	Events    int     `json:"events,omitempty"` // workload trace length (default 100000)
+	Scale     float64 `json:"scale,omitempty"`  // micro-benchmark scale factor (default 0.01)
+	Seed      int64   `json:"seed,omitempty"`   // workload generator seed
+}
+
+// ValidateJob runs the paper's full hardware-validation methodology for
+// one core and reports the tuned configuration.
+type ValidateJob struct {
+	Core    string  `json:"core,omitempty"`    // "a53" (default) or "a72"
+	Budget1 int     `json:"budget1,omitempty"` // irace budget, round 1 (default 3000)
+	Budget2 int     `json:"budget2,omitempty"` // irace budget, round 2 (default 4000)
+	Scale   float64 `json:"scale,omitempty"`   // micro-benchmark scale factor (default 0.01)
+	Seed    int64   `json:"seed,omitempty"`
+	// OutPath writes the tuned config JSON to a file; the Result carries
+	// the same bytes in TunedConfig either way.
+	OutPath string `json:"out_path,omitempty"`
+	Quiet   bool   `json:"quiet,omitempty"` // suppress progress output
+}
+
+// ExperimentsJob regenerates paper tables/figures and runs scenario
+// sweeps through the scenario registry.
+type ExperimentsJob struct {
+	// Run and Scenario are the same selector (comma-separated names or
+	// globs; "all" = the paper set); Run is the classic single-pattern
+	// spelling. Setting both is an error; both empty selects "all".
+	Run      string `json:"run,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	// ListScenarios renders the registry listing instead of running.
+	ListScenarios bool `json:"list_scenarios,omitempty"`
+	// Shard runs partition "i/n" of the expanded unit list.
+	Shard string `json:"shard,omitempty"`
+	// Resume checkpoints the simulation cache after every unit (implies a
+	// default cache path when Options.CachePath is empty).
+	Resume bool `json:"resume,omitempty"`
+	// CheckpointEvery is the background checkpoint period under Resume, as
+	// a Go duration string (default "10s").
+	CheckpointEvery string `json:"checkpoint_every,omitempty"`
+	// Manifest overlays scenarios from a JSON manifest on the registry;
+	// SaveManifest writes the effective registry to a manifest and stops.
+	Manifest     string  `json:"manifest,omitempty"`
+	SaveManifest string  `json:"save_manifest,omitempty"`
+	Scale        float64 `json:"scale,omitempty"`   // default 0.01
+	Events       int     `json:"events,omitempty"`  // default 60000
+	Budget1      int     `json:"budget1,omitempty"` // default 2500
+	Budget2      int     `json:"budget2,omitempty"` // default 3500
+	Seed         int64   `json:"seed,omitempty"`
+	// OutPath additionally writes the rendered artifact to a file.
+	OutPath string `json:"out_path,omitempty"`
+	Quiet   bool   `json:"quiet,omitempty"`
+}
+
+// UbenchJob inspects the Table I micro-benchmark suite.
+type UbenchJob struct {
+	List bool `json:"list,omitempty"`
+	// Dump records a benchmark's trace to DumpOut (default "bench.rift").
+	Dump    string `json:"dump,omitempty"`
+	DumpOut string `json:"dump_out,omitempty"`
+	// Compare races a benchmark (or "all") between board and model.
+	Compare string `json:"compare,omitempty"`
+	// Disasm prints a benchmark's assembly listing.
+	Disasm     string  `json:"disasm,omitempty"`
+	Core       string  `json:"core,omitempty"`  // "a53" (default) or "a72"
+	Scale      float64 `json:"scale,omitempty"` // default 0.01
+	InitArrays bool    `json:"init_arrays,omitempty"`
+}
+
+// Options are the lifecycle knobs shared by every job kind — exactly the
+// flags the four standalone binaries each used to re-implement.
+type Options struct {
+	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS). Output
+	// is byte-identical for any value.
+	Parallelism int
+	// CachePath names a JSON snapshot persisting the simulation cache
+	// across runs: loaded before the job, saved after. Ignored when Cache
+	// is set (the cache owner handles persistence).
+	CachePath string
+	// Cache, when non-nil, is a pre-opened cache shared across jobs (the
+	// serve worker pool's warm cache). The engine then neither loads nor
+	// saves snapshots per job.
+	Cache *simcache.Cache
+	// CPUProfile/MemProfile write pprof profiles around the job.
+	CPUProfile, MemProfile string
+	// Stdout/Stderr receive the job's streamed output; nil discards the
+	// stream (unless Capture retains it).
+	Stdout, Stderr io.Writer
+	// Capture additionally retains both streams in the Result
+	// (Artifact/Log) — what the server stores per job. Batch callers that
+	// stream to the terminal and discard the Result leave it off, so a
+	// long sweep's artifact is not duplicated in memory.
+	Capture bool
+}
+
+// Result is what a job execution produced.
+type Result struct {
+	Kind string `json:"kind"`
+	// Artifact is every byte the job wrote to stdout — the rendered
+	// tables/figures, batch summary rows, or registry listing. It is
+	// byte-identical to the historical standalone binary's stdout.
+	// Populated only under Options.Capture.
+	Artifact string `json:"artifact"`
+	// Log is every byte the job wrote to stderr (progress, timing, cache
+	// statistics — never part of the artifact). Populated only under
+	// Options.Capture.
+	Log string `json:"log,omitempty"`
+	// TunedConfig carries the tuned configuration JSON of a validate job.
+	TunedConfig json.RawMessage `json:"tuned_config,omitempty"`
+	// CacheStats snapshots the simulation cache after the job. Under a
+	// shared cache the counters are cumulative across jobs.
+	CacheStats simcache.Stats `json:"cache_stats"`
+	Elapsed    time.Duration  `json:"elapsed_ns"`
+}
+
+// env threads the resolved lifecycle state through a job execution.
+type env struct {
+	par    int
+	cache  *simcache.Cache
+	shared bool // cache owned by the caller: skip snapshot load/save
+	path   string
+
+	out, errw      io.Writer
+	outBuf, errBuf bytes.Buffer
+
+	tunedConfig json.RawMessage
+}
+
+func (e *env) printf(format string, args ...any) {
+	fmt.Fprintf(e.out, format, args...)
+}
+
+func (e *env) eprintf(format string, args ...any) {
+	fmt.Fprintf(e.errw, format, args...)
+}
+
+// tee resolves a job output stream: teed into buf when capturing,
+// discarded when there is neither a stream writer nor a capture.
+func tee(w io.Writer, buf *bytes.Buffer, capture bool) io.Writer {
+	switch {
+	case capture && w != nil:
+		return io.MultiWriter(w, buf)
+	case capture:
+		return buf
+	case w != nil:
+		return w
+	default:
+		return io.Discard
+	}
+}
+
+// Check verifies the job names exactly the spec its kind requires: any
+// populated spec field must be the one matching Kind, so a mislabeled
+// job fails loudly instead of silently running the kind's defaults.
+func (j Job) Check() error {
+	switch j.Kind {
+	case KindRun, KindValidate, KindExperiments, KindUbench:
+	case "":
+		return fmt.Errorf("engine: job has no kind (want one of run, validate, experiments, ubench)")
+	default:
+		return fmt.Errorf("engine: unknown job kind %q (want one of run, validate, experiments, ubench)", j.Kind)
+	}
+	for _, spec := range []struct {
+		kind string
+		set  bool
+	}{
+		{KindRun, j.Run != nil},
+		{KindValidate, j.Validate != nil},
+		{KindExperiments, j.Experiments != nil},
+		{KindUbench, j.Ubench != nil},
+	} {
+		if spec.set && spec.kind != j.Kind {
+			return fmt.Errorf("engine: job kind %q carries a %q spec (want the %q spec or none)", j.Kind, spec.kind, j.Kind)
+		}
+	}
+	return nil
+}
+
+// CheckServerSafe rejects jobs that would read or write the server
+// host's filesystem. The HTTP API is unauthenticated, so path-valued
+// fields are batch-only: a network client could otherwise write
+// artifact/trace bytes to any server path (out_path, dump_out,
+// save_manifest) or probe server files (config_path, manifest,
+// trace_path). Inline equivalents exist where they matter — config_json
+// inbound, the Result's artifact and tuned_config outbound. Resume
+// checkpointing is likewise batch-only (server-side snapshot writes plus
+// process-wide signal handling).
+func (j Job) CheckServerSafe() error {
+	var fields []string
+	add := func(field, v string) {
+		if v != "" {
+			fields = append(fields, field)
+		}
+	}
+	if j.Run != nil {
+		add("run.config_path", j.Run.ConfigPath)
+		add("run.trace_path", j.Run.TracePath)
+	}
+	if j.Validate != nil {
+		add("validate.out_path", j.Validate.OutPath)
+	}
+	if j.Experiments != nil {
+		add("experiments.manifest", j.Experiments.Manifest)
+		add("experiments.save_manifest", j.Experiments.SaveManifest)
+		add("experiments.out_path", j.Experiments.OutPath)
+		if j.Experiments.Resume {
+			fields = append(fields, "experiments.resume")
+		}
+	}
+	if j.Ubench != nil {
+		add("ubench.dump", j.Ubench.Dump)
+		add("ubench.dump_out", j.Ubench.DumpOut)
+	}
+	if len(fields) > 0 {
+		return fmt.Errorf("engine: job touches server-side files via %s; these fields are batch-only (use inline fields like config_json, and read artifacts from the result)",
+			strings.Join(fields, ", "))
+	}
+	return nil
+}
+
+// Execute runs one job under the resolved options and returns its result.
+// On error the returned Result still carries whatever output the job
+// produced before failing (it is never nil).
+func Execute(job Job, opts Options) (*Result, error) {
+	res := &Result{Kind: job.Kind}
+	e := &env{
+		par:    opts.Parallelism,
+		cache:  opts.Cache,
+		shared: opts.Cache != nil,
+		path:   opts.CachePath,
+	}
+	if e.par <= 0 {
+		e.par = runtime.GOMAXPROCS(0)
+	}
+	if e.cache == nil {
+		e.cache = simcache.New()
+	}
+	e.out = tee(opts.Stdout, &e.outBuf, opts.Capture)
+	e.errw = tee(opts.Stderr, &e.errBuf, opts.Capture)
+
+	start := time.Now()
+	err := job.Check()
+	if err == nil {
+		err = prof.Run(opts.CPUProfile, opts.MemProfile, func() error {
+			switch job.Kind {
+			case KindRun:
+				return e.runJob(job.Run)
+			case KindValidate:
+				return e.validateJob(job.Validate)
+			case KindExperiments:
+				return e.experimentsJob(job.Experiments)
+			case KindUbench:
+				return e.ubenchJob(job.Ubench)
+			}
+			panic("unreachable: job validated")
+		})
+	}
+	res.Artifact = e.outBuf.String()
+	res.Log = e.errBuf.String()
+	res.TunedConfig = e.tunedConfig
+	res.CacheStats = e.cache.Stats()
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// loadSnapshot opens the engine-level cache snapshot for jobs that manage
+// it directly (run/validate/ubench; experiments delegates to the scenario
+// engine, which owns checkpoint/resume semantics). prefix matches the
+// historical binary's stderr prefix. logf receives the load notice —
+// stdout for validate (as before), stderr otherwise.
+func (e *env) loadSnapshot(prefix string, logf func(format string, args ...any)) error {
+	if e.shared || e.path == "" {
+		return nil
+	}
+	if err := simcache.ValidatePath(e.path); err != nil {
+		return err
+	}
+	n, rejected, err := e.cache.LoadChecked(e.path)
+	if err != nil {
+		return err
+	}
+	if rejected > 0 {
+		e.eprintf("%s: %s: rejected %d corrupted cache entries\n", prefix, e.path, rejected)
+	}
+	logf("cache: loaded %d entries from %s", n, e.path)
+	return nil
+}
+
+// saveSnapshot persists the engine-level cache snapshot after a job.
+func (e *env) saveSnapshot(logf func(format string, args ...any)) error {
+	if e.shared || e.path == "" {
+		return nil
+	}
+	if err := e.cache.SaveFile(e.path); err != nil {
+		return err
+	}
+	logf("cache: saved %d entries to %s", e.cache.Stats().Entries, e.path)
+	return nil
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"racesim/internal/hw"
+	"racesim/internal/isa"
+	"racesim/internal/par"
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+)
+
+func (e *env) ubenchJob(j *UbenchJob) error {
+	if j == nil {
+		j = &UbenchJob{}
+	}
+	scale := j.Scale
+	if scale == 0 {
+		scale = 0.01
+	}
+	dumpOut := j.DumpOut
+	if dumpOut == "" {
+		dumpOut = "bench.rift"
+	}
+	opts := ubench.Options{Scale: scale, InitArrays: j.InitArrays}
+	switch {
+	case j.Disasm != "":
+		b, ok := ubench.ByName(j.Disasm)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", j.Disasm)
+		}
+		prog, err := b.Program(opts)
+		if err != nil {
+			return err
+		}
+		listing, err := isa.DisassembleProgram(prog)
+		if err != nil {
+			return err
+		}
+		e.printf("%s", listing)
+		return nil
+
+	case j.List:
+		e.printf("%-14s %-12s %12s  %s\n", "bench", "category", "paper insns", "description")
+		for _, b := range ubench.Suite() {
+			e.printf("%-14s %-12s %12d  %s\n", b.Name, b.Category, b.PaperInstructions, b.Description)
+		}
+		return nil
+
+	case j.Dump != "":
+		b, ok := ubench.ByName(j.Dump)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", j.Dump)
+		}
+		tr, err := b.Trace(opts)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteFile(dumpOut); err != nil {
+			return err
+		}
+		e.printf("wrote %s: %d instructions\n", dumpOut, tr.Len())
+		return nil
+
+	case j.Compare != "":
+		plat, err := hw.Firefly()
+		if err != nil {
+			return err
+		}
+		board := plat.A53
+		cfg := sim.PublicA53()
+		switch j.Core {
+		case "", "a53":
+		case "a72":
+			board = plat.A72
+			cfg = sim.PublicA72()
+		default:
+			// The historical binary silently fell back to the A53 here; a
+			// typo'd core must not return plausible wrong-core numbers.
+			return fmt.Errorf("unknown core %q", j.Core)
+		}
+		if err := e.loadSnapshot("ubench", func(format string, args ...any) {
+			e.eprintf(format+"\n", args...)
+		}); err != nil {
+			return err
+		}
+		if j.Compare == "all" {
+			err = e.compareSuite(board, cfg, opts)
+		} else {
+			err = e.compareOne(j.Compare, board, cfg, opts)
+		}
+		if err != nil {
+			return err
+		}
+		return e.saveSnapshot(func(format string, args ...any) {
+			e.eprintf(format+"\n", args...)
+		})
+	}
+	return fmt.Errorf("one of list, dump, compare or disasm is required")
+}
+
+func (e *env) compareOne(name string, board *hw.Board, cfg sim.Config, opts ubench.Options) error {
+	b, ok := ubench.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", name)
+	}
+	tr, err := b.Trace(opts)
+	if err != nil {
+		return err
+	}
+	cnt, err := board.Measure(tr)
+	if err != nil {
+		return err
+	}
+	res, err := e.cache.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	errPct := (res.CPI() - cnt.CPI) / cnt.CPI * 100
+	e.printf("benchmark:     %s (%d instructions)\n", b.Name, tr.Len())
+	e.printf("board CPI:     %.4f (%s)\n", cnt.CPI, board.Name)
+	e.printf("model CPI:     %.4f (%s)\n", res.CPI(), cfg.Name)
+	e.printf("CPI error:     %+.1f%%\n", errPct)
+	e.printf("board brMPKI:  %.2f   model brMPKI: %.2f\n",
+		cnt.BranchMPKI, res.Branch.MPKI(res.Instructions))
+	return nil
+}
+
+// compareSuite runs every benchmark through board and model on a bounded
+// worker pool. Rows are assembled in suite order, so the output is
+// identical for any parallelism and cache warmth.
+func (e *env) compareSuite(board *hw.Board, cfg sim.Config, opts ubench.Options) error {
+	benches := ubench.Suite()
+	type row struct {
+		boardCPI, modelCPI, errPct float64
+		insns                      int
+	}
+	rows := make([]row, len(benches))
+	err := par.ForEach(len(benches), e.par, func(i int) error {
+		tr, err := benches[i].Trace(opts)
+		if err != nil {
+			return err
+		}
+		cnt, err := board.Measure(tr)
+		if err != nil {
+			return err
+		}
+		res, err := e.cache.Run(cfg, tr)
+		if err != nil {
+			return err
+		}
+		rows[i] = row{
+			boardCPI: cnt.CPI,
+			modelCPI: res.CPI(),
+			errPct:   (res.CPI() - cnt.CPI) / cnt.CPI * 100,
+			insns:    tr.Len(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.printf("%-14s %10s %10s %10s %8s\n", "bench", "insns", "board CPI", "model CPI", "error")
+	mean := 0.0
+	for i, b := range benches {
+		r := rows[i]
+		e.printf("%-14s %10d %10.4f %10.4f %+7.1f%%\n", b.Name, r.insns, r.boardCPI, r.modelCPI, r.errPct)
+		mean += math.Abs(r.errPct)
+	}
+	e.printf("\nmean |CPI error| over %d benchmarks: %.1f%% (%s vs %s)\n",
+		len(benches), mean/float64(len(benches)), board.Name, cfg.Name)
+	return nil
+}

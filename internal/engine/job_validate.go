@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"racesim/internal/hw"
+	"racesim/internal/sim"
+	"racesim/internal/ubench"
+	"racesim/internal/validate"
+)
+
+func (e *env) validateJob(j *ValidateJob) error {
+	if j == nil {
+		j = &ValidateJob{}
+	}
+	budget1 := j.Budget1
+	if budget1 == 0 {
+		budget1 = 3000
+	}
+	budget2 := j.Budget2
+	if budget2 == 0 {
+		budget2 = 4000
+	}
+	scale := j.Scale
+	if scale == 0 {
+		scale = 0.01
+	}
+
+	plat, err := hw.Firefly()
+	if err != nil {
+		return err
+	}
+	board := plat.A53
+	public := sim.PublicA53()
+	switch j.Core {
+	case "", "a53":
+	case "a72":
+		board = plat.A72
+		public = sim.PublicA72()
+	default:
+		return fmt.Errorf("unknown core %q", j.Core)
+	}
+
+	// Progress goes to stdout, as the standalone validate binary always
+	// printed it (the tuned-config table is the artifact either way).
+	logf := func(format string, args ...any) {
+		if !j.Quiet {
+			e.printf(format+"\n", args...)
+		}
+	}
+	if err := e.loadSnapshot("validate", logf); err != nil {
+		return err
+	}
+	stages, err := validate.Pipeline(board, public, validate.PipelineOptions{
+		BudgetRound1: budget1,
+		BudgetRound2: budget2,
+		Seed:         j.Seed,
+		UbenchScale:  scale,
+		Cache:        e.cache,
+		Parallelism:  e.par,
+		Log:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	e.printf("\n%-10s %-12s %-12s\n", "stage", "mean error", "worst bench")
+	for _, s := range stages {
+		worst, _ := validate.MaxError(s.Errors)
+		e.printf("%-10s %-12s %s (%.1f%%)\n", s.Name,
+			fmt.Sprintf("%.1f%%", s.MeanError*100), worst.Name, worst.Error*100)
+	}
+	final := stages[len(stages)-1]
+	e.printf("\nper-category error of the final model:\n")
+	// Canonical suite order: the historical binary ranged over the map,
+	// making this block's line order random per run.
+	cats := validate.CategoryErrors(final.Errors)
+	for _, cat := range ubench.Categories {
+		if ce, ok := cats[cat]; ok {
+			e.printf("  %-14s %.1f%%\n", cat, ce*100)
+		}
+	}
+
+	st := e.cache.Stats()
+	e.eprintf("cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate), %d entries\n",
+		st.Hits, st.Misses, st.Shared, st.HitRate()*100, st.Entries)
+	if err := e.saveSnapshot(logf); err != nil {
+		return err
+	}
+
+	// The tuned configuration always rides along in the Result (the HTTP
+	// path has no shared filesystem); OutPath additionally writes the same
+	// indented JSON to a file, as the standalone binary did.
+	data, err := json.MarshalIndent(final.Config, "", "  ")
+	if err != nil {
+		return err
+	}
+	e.tunedConfig = append(data, '\n')
+	if j.OutPath != "" {
+		if err := final.Config.MarshalJSONFile(j.OutPath); err != nil {
+			return err
+		}
+		e.printf("\nwrote tuned configuration to %s\n", j.OutPath)
+	}
+	return nil
+}

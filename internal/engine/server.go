@@ -1,0 +1,511 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"racesim/internal/scenario"
+	"racesim/internal/simcache"
+)
+
+// ServerOptions configures a long-lived job server.
+type ServerOptions struct {
+	// Parallelism bounds concurrent simulations within one job (<=0:
+	// GOMAXPROCS).
+	Parallelism int
+	// Workers is the number of jobs executing concurrently (default 1 —
+	// jobs already fan their simulation units across Parallelism cores).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a full
+	// queue answers 503 (default 64).
+	QueueDepth int
+	// CachePath, when set, warms the shared simulation cache from a
+	// snapshot at startup and persists it on Drain, so a restarted server
+	// answers repeated jobs from disk-warm state.
+	CachePath string
+	// KeepLog bounds the per-job progress ring (default 50 lines).
+	KeepLog int
+	// KeepJobs bounds how many finished jobs (with their full results) are
+	// retained for GET /v1/jobs/{id}; beyond it the oldest finished job is
+	// evicted and answers 404 (default 256). Queued and running jobs are
+	// never evicted.
+	KeepJobs int
+	// Log receives server lifecycle lines (startup, drain, job
+	// transitions); nil discards them.
+	Log func(format string, args ...any)
+}
+
+// JobStatus is the externally visible state of a submitted job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Status    string    `json:"status"` // queued | running | done | failed
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// Progress is the tail of the job's stderr stream (most recent last),
+	// the live view of a running sweep.
+	Progress []string `json:"progress,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	// Result is set once Status is done or failed (a failed job still
+	// carries whatever output it produced).
+	Result *Result `json:"result,omitempty"`
+}
+
+// jobState is the server-side record behind a JobStatus.
+type jobState struct {
+	id  string
+	job Job
+
+	mu        sync.Mutex
+	status    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  []string
+	keep      int
+	err       error
+	result    *Result
+}
+
+func (st *jobState) snapshot(includeResult bool) JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := JobStatus{
+		ID:        st.id,
+		Kind:      st.job.Kind,
+		Status:    st.status,
+		Submitted: st.submitted,
+		Started:   st.started,
+		Finished:  st.finished,
+		Progress:  append([]string(nil), st.progress...),
+	}
+	if st.err != nil {
+		out.Error = st.err.Error()
+	}
+	if includeResult {
+		out.Result = st.result
+	}
+	return out
+}
+
+// Write implements io.Writer over the progress ring: the job's stderr
+// stream is split into lines and the most recent `keep` are retained.
+func (st *jobState) Write(p []byte) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		st.progress = append(st.progress, line)
+		if len(st.progress) > st.keep {
+			st.progress = st.progress[len(st.progress)-st.keep:]
+		}
+	}
+	return len(p), nil
+}
+
+// Server accepts jobs over HTTP and executes them on a bounded worker
+// pool against one shared, process-lifetime simulation cache — the warm
+// state a batch run rebuilds from disk every invocation.
+type Server struct {
+	opts  ServerOptions
+	cache *simcache.Cache
+	log   func(format string, args ...any)
+
+	mu       sync.Mutex
+	jobs     map[string]*jobState
+	order    []string
+	done     []string // finished job ids, completion order (eviction queue)
+	seq      int
+	draining bool
+
+	queue chan *jobState
+	wg    sync.WaitGroup
+}
+
+// NewServer builds a server, warms the shared cache from CachePath (if
+// set) and starts the worker pool.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.KeepLog <= 0 {
+		opts.KeepLog = 50
+	}
+	if opts.KeepJobs <= 0 {
+		opts.KeepJobs = 256
+	}
+	log := opts.Log
+	if log == nil {
+		log = func(string, ...any) {}
+	}
+	s := &Server{
+		opts:  opts,
+		cache: simcache.New(),
+		log:   log,
+		jobs:  map[string]*jobState{},
+		queue: make(chan *jobState, opts.QueueDepth),
+	}
+	if opts.CachePath != "" {
+		if err := simcache.ValidatePath(opts.CachePath); err != nil {
+			return nil, err
+		}
+		n, rejected, err := s.cache.LoadChecked(opts.CachePath)
+		if err != nil {
+			return nil, err
+		}
+		if rejected > 0 {
+			log("serve: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
+		}
+		log("serve: cache: loaded %d entries from %s", n, opts.CachePath)
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Cache exposes the shared warm cache (tests, drain-time stats).
+func (s *Server) Cache() *simcache.Cache { return s.cache }
+
+// QueueLen reports the number of queued-but-not-running jobs.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for st := range s.queue {
+		st.mu.Lock()
+		st.status = "running"
+		st.started = time.Now()
+		st.mu.Unlock()
+		s.log("serve: job %s (%s) running", st.id, st.job.Kind)
+
+		res, err := Execute(st.job, Options{
+			Parallelism: s.opts.Parallelism,
+			Cache:       s.cache,
+			Stderr:      st,   // live progress ring
+			Capture:     true, // the stored Result is the job's only output
+		})
+
+		st.mu.Lock()
+		st.finished = time.Now()
+		st.result = res
+		st.err = err
+		if err != nil {
+			st.status = "failed"
+		} else {
+			st.status = "done"
+		}
+		st.mu.Unlock()
+		s.retire(st.id)
+		s.log("serve: job %s (%s) %s in %v", st.id, st.job.Kind, st.statusString(), res.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// retire records a finished job and evicts the oldest finished jobs
+// beyond KeepJobs, bounding what a long-lived server retains (every
+// result holds a full artifact and captured log). In-flight jobs are
+// untouched: only ids pushed here are ever evicted.
+func (s *Server) retire(finishedID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = append(s.done, finishedID)
+	for len(s.done) > s.opts.KeepJobs {
+		old := s.done[0]
+		s.done = s.done[1:]
+		delete(s.jobs, old)
+		// Prune the listing order too, or it grows with every job ever
+		// submitted over the server's lifetime. After pruning, s.order is
+		// bounded by queued+running+KeepJobs, so the scan is cheap.
+		for i, id := range s.order {
+			if id == old {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (st *jobState) statusString() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status
+}
+
+// Submission failures that mean "retry later", not "bad job" — the HTTP
+// layer maps them to 503 instead of 400.
+var (
+	ErrDraining  = errors.New("engine: server is draining")
+	ErrQueueFull = errors.New("engine: job queue is full")
+)
+
+// Submit validates and enqueues a job, returning its ID. It fails with
+// ErrDraining once Drain has started and ErrQueueFull beyond QueueDepth.
+func (s *Server) Submit(job Job) (string, error) {
+	if err := job.Check(); err != nil {
+		return "", err
+	}
+	if err := job.CheckServerSafe(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	s.seq++
+	st := &jobState{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		job:       job,
+		status:    "queued",
+		submitted: time.Now(),
+		keep:      s.opts.KeepLog,
+	}
+	select {
+	case s.queue <- st:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w (%d pending)", ErrQueueFull, cap(s.queue))
+	}
+	s.jobs[st.id] = st
+	s.order = append(s.order, st.id)
+	s.mu.Unlock()
+	s.log("serve: job %s (%s) queued", st.id, job.Kind)
+	return st.id, nil
+}
+
+// Drain stops accepting new jobs, waits for queued and running jobs to
+// finish (or ctx to expire), and persists the shared cache snapshot. It
+// is the SIGTERM path of `racesim serve` and safe to call once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("engine: already draining")
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Even an aborted or timed-out drain flushes the snapshot:
+		// SaveFile is atomic and the cache concurrency-safe, so saving
+		// while a job is still mid-flight loses nothing already computed —
+		// the batch scenario engine checkpoints on SIGINT for the same
+		// reason.
+		if s.opts.CachePath != "" {
+			if err := s.cache.SaveFile(s.opts.CachePath); err != nil {
+				s.log("serve: drain-abort checkpoint %s: %v", s.opts.CachePath, err)
+			} else {
+				s.log("serve: drain aborted; checkpointed %d cache entries to %s",
+					s.cache.Stats().Entries, s.opts.CachePath)
+			}
+		}
+		return ctx.Err()
+	}
+	if s.opts.CachePath != "" {
+		if err := s.cache.SaveFile(s.opts.CachePath); err != nil {
+			return fmt.Errorf("engine: drain checkpoint %s: %w", s.opts.CachePath, err)
+		}
+		s.log("serve: drained; saved %d cache entries to %s", s.cache.Stats().Entries, s.opts.CachePath)
+	} else {
+		s.log("serve: drained")
+	}
+	return nil
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs              submit a Job (JSON body), 202 + {"id": ...}
+//	GET  /v1/jobs              list job statuses (no results)
+//	GET  /v1/jobs/{id}         one job's status, result included when done
+//	GET  /v1/jobs/{id}/artifact  the raw rendered artifact (text/plain)
+//	GET  /v1/scenarios         the scenario registry with unit counts
+//	GET  /healthz              liveness + queue/cache statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var job Job
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job: %v", err)})
+		return
+	}
+	id, err := s.Submit(job)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		URL    string `json:"url"`
+	}{ID: id, Status: "queued", URL: "/v1/jobs/" + id})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	states := make([]*jobState, 0, len(s.order))
+	for _, id := range s.order {
+		// Submission order, minus evicted (retired) finished jobs.
+		if st, ok := s.jobs[id]; ok {
+			states = append(states, st)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(r *http.Request) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.jobs[r.PathValue("id")]
+	return st, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st.snapshot(true))
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	st.mu.Lock()
+	status, result := st.status, st.result
+	st.mu.Unlock()
+	// Only a successful job's artifact is served raw: a failed job's
+	// partial output would be indistinguishable from a complete one to a
+	// curl|diff client. The partial artifact stays available in the status
+	// endpoint's result, next to the error that explains it.
+	if status != "done" || result == nil {
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("job is %s; the artifact is served for successful jobs only (see GET /v1/jobs/%s)", status, st.id),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(result.Artifact))
+}
+
+// ScenarioInfo is one row of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Units       int    `json:"units"`
+	Description string `json:"description,omitempty"`
+	Paper       bool   `json:"paper"` // part of the reserved "all" selection
+}
+
+// Scenarios lists the built-in scenario registry with expanded unit
+// counts — what an HTTP client needs to compose an experiments job.
+func Scenarios() ([]ScenarioInfo, error) {
+	specs := scenario.Registry()
+	units, err := scenario.Expand(specs)
+	if err != nil {
+		return nil, err
+	}
+	perScenario := map[string]int{}
+	for _, u := range units {
+		perScenario[u.Scenario]++
+	}
+	paper := map[string]bool{}
+	for _, name := range scenario.PaperSet(specs) {
+		paper[name] = true
+	}
+	out := make([]ScenarioInfo, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, ScenarioInfo{
+			Name:        sp.Name,
+			Kind:        sp.Kind,
+			Units:       perScenario[sp.Name],
+			Description: sp.Description,
+			Paper:       paper[sp.Name],
+		})
+	}
+	return out, nil
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	infos, err := Scenarios()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	total := len(s.order)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status  string         `json:"status"`
+		Queued  int            `json:"queued"`
+		Jobs    int            `json:"jobs"`
+		Workers int            `json:"workers"`
+		Cache   simcache.Stats `json:"cache"`
+	}{
+		Status: map[bool]string{false: "ok", true: "draining"}[draining],
+		Queued: len(s.queue), Jobs: total, Workers: s.opts.Workers,
+		Cache: s.cache.Stats(),
+	})
+}

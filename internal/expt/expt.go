@@ -17,7 +17,7 @@ import (
 
 // Options sizes the experiment runs. Zero values select modest defaults
 // suitable for minutes-scale regeneration; the paper-scale knobs are
-// documented in cmd/experiments.
+// documented in `racesim experiments` (docs/cli.md).
 type Options struct {
 	UbenchScale     float64
 	WorkloadEvents  int

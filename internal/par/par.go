@@ -2,14 +2,25 @@
 // that fans independent simulation work out across cores (the experiment
 // runner, the validation suite, the perturbation study). Keeping the pool
 // in one place keeps its semantics — deterministic error selection,
-// bounded concurrency, no result reordering — identical everywhere.
+// bounded concurrency, fail-fast dispatch, no result reordering —
+// identical everywhere.
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ForEach runs fn(0..n-1) with at most parallelism concurrent calls
 // (<=1 means sequential) and returns the lowest-indexed error, so the
 // reported failure is deterministic regardless of completion order.
+//
+// Dispatch is fail-fast: once any call has returned an error, no further
+// indices are started (calls already in flight run to completion). That
+// cannot change which error is reported: indices are dispatched in
+// ascending order, so by the time index i fails every index below i has
+// already been dispatched, and the lowest-indexed error among dispatched
+// calls is the same as over all of them.
 func ForEach(n, parallelism int, fn func(i int) error) error {
 	if parallelism > n {
 		parallelism = n
@@ -23,14 +34,23 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	var failed atomic.Bool
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if failed.Load() {
+			// A unit in flight (or finished) has already failed: launching
+			// the remaining thousands of simulations would only burn CPU on
+			// results the caller will discard.
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(i)
+			if errs[i] = fn(i); errs[i] != nil {
+				failed.Store(true)
+			}
 			<-sem
 		}(i)
 	}

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, parallelism := range []int{1, 2, 8, 100} {
+		var ran atomic.Int32
+		err := ForEach(50, parallelism, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if got := ran.Load(); got != 50 {
+			t.Errorf("parallelism %d: ran %d of 50", parallelism, got)
+		}
+	}
+}
+
+func TestForEachLowestIndexedError(t *testing.T) {
+	// Two failures; the lower-indexed one must be reported for any pool
+	// width, regardless of completion order.
+	for _, parallelism := range []int{1, 2, 7} {
+		err := ForEach(20, parallelism, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("unit %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3" {
+			t.Errorf("parallelism %d: got %v, want unit 3", parallelism, err)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	// A fast-failing early unit must prevent most of the remaining units
+	// from ever starting: with parallelism 2 and unit 0 failing
+	// immediately, dispatch may overshoot by the in-flight window but must
+	// not walk all 10k indices.
+	const n = 10_000
+	var started atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(n, 2, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Keep the other worker busy long enough for the failure flag to
+		// be observed while it is still in flight.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := started.Load(); got > 100 {
+		t.Errorf("%d of %d units started after a fast failure; dispatch did not stop", got, n)
+	}
+}

@@ -1,6 +1,8 @@
-// Package prof wires the standard pprof profilers into the command-line
-// tools, so hot-path regressions in the replay pipeline are diagnosable
-// with `go tool pprof` (see docs/performance.md).
+// Package prof wires the standard pprof profilers into the execution
+// engine (every `racesim` subcommand accepts -cpuprofile/-memprofile
+// through engine.Options), so hot-path regressions in the replay
+// pipeline are diagnosable with `go tool pprof` (see
+// docs/performance.md).
 package prof
 
 import (

@@ -9,8 +9,10 @@
 // The cache is safe for concurrent use and deduplicates in-flight work:
 // when two workers ask for the same unit simultaneously, one simulates and
 // the other blocks on the first result (singleflight). An optional
-// JSON-on-disk snapshot (LoadFile/SaveFile) makes repeated cmd/experiments
-// runs warm across processes; every persisted entry carries a checksum
+// JSON-on-disk snapshot (LoadFile/SaveFile) makes repeated `racesim
+// experiments` runs warm across processes — and a `racesim serve` process
+// holds one cache hot across every job it executes, no snapshot reload
+// between requests; every persisted entry carries a checksum
 // binding it to its key, so a corrupted or hand-edited entry is rejected
 // on load rather than silently poisoning experiments.
 //
@@ -33,13 +35,14 @@ func Key(cfg sim.Config, tr *trace.Trace) string {
 	return cfg.Fingerprint() + ":" + tr.Digest()
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness.
+// Stats is a point-in-time snapshot of cache effectiveness. The JSON
+// field names are part of the serve HTTP API (job results, /healthz).
 type Stats struct {
-	Hits     uint64 // Run calls answered from memory
-	Misses   uint64 // Run calls that simulated
-	Shared   uint64 // Run calls that waited on an identical in-flight run
-	Entries  int    // distinct results currently stored
-	Rejected uint64 // persisted entries dropped by checksum mismatch
+	Hits     uint64 `json:"hits"`     // Run calls answered from memory
+	Misses   uint64 `json:"misses"`   // Run calls that simulated
+	Shared   uint64 `json:"shared"`   // Run calls that waited on an identical in-flight run
+	Entries  int    `json:"entries"`  // distinct results currently stored
+	Rejected uint64 `json:"rejected"` // persisted entries dropped by checksum mismatch
 }
 
 // HitRate returns (hits+shared)/(hits+misses+shared) — waiting on an
