@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racesim/internal/simcache"
+)
+
+// cmdCache inspects and joins simulation-cache snapshots outside the
+// cluster path: `racesim cache stats FILE...` and `racesim cache merge
+// -o OUT FILE...`.
+func cmdCache(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: racesim cache stats FILE... | racesim cache merge -o OUT FILE...")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "stats":
+		return cacheStats(rest)
+	case "merge":
+		return cacheMerge(rest)
+	default:
+		return fmt.Errorf("unknown cache subcommand %q (want stats or merge)", sub)
+	}
+}
+
+// loadSnapshot reads one snapshot file into a fresh cache, reporting
+// accepted and checksum-rejected entry counts. Unlike the warm-start
+// path (which tolerates absent or stale-format snapshots by starting
+// cold), an operator-named file must load: a format mismatch is an
+// error, never a silent "0 entries".
+func loadSnapshot(path string) (c *simcache.Cache, accepted int, rejected uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	c = simcache.New()
+	accepted, _, err = c.LoadBytes(data)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, accepted, c.Stats().Rejected, nil
+}
+
+func cacheStats(args []string) error {
+	fs := flag.NewFlagSet("racesim cache stats", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: racesim cache stats FILE...")
+	}
+	for _, path := range fs.Args() {
+		_, accepted, rejected, err := loadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d entries", path, accepted)
+		if rejected > 0 {
+			fmt.Printf(", %d rejected by checksum", rejected)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cacheMerge(args []string) error {
+	fs := flag.NewFlagSet("racesim cache merge", flag.ExitOnError)
+	out := fs.String("o", "", "write the merged snapshot here (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("usage: racesim cache merge -o OUT FILE...")
+	}
+	if err := simcache.ValidatePath(*out); err != nil {
+		return err
+	}
+	merged := simcache.New()
+	for _, path := range fs.Args() {
+		other, accepted, rejected, err := loadSnapshot(path)
+		if err != nil {
+			return err
+		}
+		added, replaced, err := merged.Merge(other)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d entries (%d new, %d replaced", path, accepted, added, replaced)
+		if rejected > 0 {
+			fmt.Fprintf(os.Stderr, ", %d rejected by checksum", rejected)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+	if err := merged.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", merged.Stats().Entries, *out)
+	return nil
+}

@@ -8,6 +8,9 @@
 //	racesim validate -core a53 -budget1 4000 -budget2 6000 -out tuned.json
 //	racesim ubench -list
 //	racesim serve -addr :8080 -cache simcache.json
+//	racesim sweep -workers http://a:8080,http://b:8080 -scenario 'fig*'
+//	racesim sweep -spawn 4 -scenario all -cache federated.json
+//	racesim cache merge -o all.json a.json b.json
 //
 // For compatibility with the historical single-purpose binary, invoking
 // racesim with flags and no subcommand ("racesim -preset ... -ubench MD")
@@ -45,6 +48,8 @@ subcommands:
   validate     run the full hardware-validation pipeline for one core
   ubench       inspect the Table I micro-benchmark suite
   serve        long-lived HTTP job server over a shared warm simulation cache
+  sweep        distribute a scenario sweep across serve workers (see docs/distributed.md)
+  cache        inspect or merge simulation-cache snapshots
 
 Run "racesim <subcommand> -h" for the subcommand's flags.
 Bare flags ("racesim -preset ...") are shorthand for "racesim run".
@@ -82,6 +87,10 @@ func main() {
 		err = cmdUbench(args)
 	case "serve":
 		err = cmdServe(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "cache":
+		err = cmdCache(args)
 	case "help":
 		usage()
 		return
@@ -261,6 +270,7 @@ func cmdServe(args []string) error {
 		parallelism = fs.Int("parallelism", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
 		cache       = fs.String("cache", "", "warm the shared cache from this snapshot at startup; saved on drain")
 		drainWait   = fs.Duration("drain-timeout", 10*time.Minute, "how long SIGTERM waits for running jobs before exiting")
+		announce    = fs.String("announce", "", "write the bound listen address to this file once serving (for -addr :0 spawners)")
 	)
 	fs.Parse(args)
 
@@ -282,6 +292,17 @@ func cmdServe(args []string) error {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	logf("serve: listening on http://%s (POST /v1/jobs)", ln.Addr())
+	if *announce != "" {
+		// Atomic write: a spawner polling the file never reads a torn
+		// address.
+		tmp := *announce + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *announce); err != nil {
+			return err
+		}
+	}
 
 	// Graceful drain: stop accepting, let queued and running jobs finish,
 	// persist the warm cache, then exit. A second signal aborts.

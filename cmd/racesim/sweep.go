@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"racesim/internal/cluster"
+)
+
+// cmdSweep is the distributed counterpart of `racesim experiments`: it
+// expands a scenario selection and dispatches its units across a pool
+// of `racesim serve` workers (remote URLs and/or locally spawned
+// processes), assembling a byte-identical artifact on stdout.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("racesim sweep", flag.ExitOnError)
+	var (
+		workersFlag = fs.String("workers", "", "comma-separated worker base URLs (e.g. http://a:8080,http://b:8080)")
+		spawn       = fs.Int("spawn", 0, "additionally fork N local `racesim serve` worker processes")
+		scenarioPat = fs.String("scenario", "all", "comma-separated scenario names/globs ('all' = paper set)")
+		window      = fs.Int("window", 2, "max in-flight units per worker")
+		retriesN    = fs.Int("retries", 3, "per-unit reassignment budget on worker failure")
+		cache       = fs.String("cache", "", "federated snapshot: pre-seeds workers, collects+merges their deltas")
+		scale       = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
+		events      = fs.Int("events", 60_000, "workload trace length")
+		budget1     = fs.Int("budget1", 2500, "irace budget, round 1")
+		budget2     = fs.Int("budget2", 3500, "irace budget, round 2")
+		seed        = fs.Int64("seed", 0, "seed")
+		parallelism = fs.Int("parallelism", 0, "concurrent simulations per spawned worker (0 = GOMAXPROCS)")
+		out         = fs.String("out", "", "also write the assembled artifact to this file")
+		quiet       = fs.Bool("q", false, "suppress progress output")
+	)
+	fs.Parse(args)
+
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	var urls []string
+	for _, u := range strings.Split(*workersFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if *spawn > 0 {
+		spawned, stop, err := spawnWorkers(*spawn, *parallelism, logf)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		urls = append(urls, spawned...)
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("no workers: pass -workers URLs and/or -spawn N")
+	}
+
+	output, rep, err := cluster.Run(context.Background(), cluster.Options{
+		Workers:   urls,
+		Window:    *window,
+		Retries:   *retriesN,
+		CachePath: *cache,
+		Scenario:  *scenarioPat,
+		Scale:     *scale,
+		Events:    *events,
+		Budget1:   *budget1,
+		Budget2:   *budget2,
+		Seed:      *seed,
+		Log:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(output)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(output), 0o644); err != nil {
+			return err
+		}
+		logf("wrote %s", *out)
+	}
+	for url, n := range rep.Completed {
+		logf("sweep: worker %s rendered %d units", url, n)
+	}
+	if rep.Reassigned > 0 {
+		logf("sweep: %d unit dispatches reassigned; dead workers: %s",
+			rep.Reassigned, strings.Join(rep.Dead, ", "))
+	}
+	return nil
+}
+
+// spawnWorkers forks n local `racesim serve` processes on ephemeral
+// loopback ports — single-machine parallelism beyond one simcache lock
+// domain (each process owns its own shared cache; the coordinator's
+// federation ties them together). The bound address of each worker is
+// discovered through serve's -announce file.
+func spawnWorkers(n, parallelism int, logf func(string, ...any)) (urls []string, stop func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("spawn: locate racesim binary: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "racesim-sweep-")
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, p := range procs {
+			p.Process.Signal(syscall.SIGTERM)
+		}
+		for _, p := range procs {
+			done := make(chan struct{})
+			go func(p *exec.Cmd) { p.Wait(); close(done) }(p)
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	defer func() {
+		if err != nil {
+			stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		announce := filepath.Join(dir, fmt.Sprintf("worker-%d.addr", i))
+		cmd := exec.Command(exe, "serve",
+			"-addr", "127.0.0.1:0",
+			"-announce", announce,
+			"-parallelism", fmt.Sprint(parallelism))
+		cmd.Stderr = os.Stderr
+		if err = cmd.Start(); err != nil {
+			return nil, nil, fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+		addr, werr := waitAnnounce(announce, 10*time.Second)
+		if werr != nil {
+			err = fmt.Errorf("spawn worker %d: %w", i, werr)
+			return nil, nil, err
+		}
+		urls = append(urls, "http://"+addr)
+		logf("sweep: spawned local worker %d at http://%s (pid %d)", i, addr, cmd.Process.Pid)
+	}
+	return urls, stop, nil
+}
+
+// waitAnnounce polls an -announce file until the worker has written its
+// bound address (the write is atomic: temp file + rename).
+func waitAnnounce(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("worker did not announce its address within %v", timeout)
+}

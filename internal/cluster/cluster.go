@@ -1,0 +1,455 @@
+// Package cluster is the distributed sweep fabric: a coordinator that
+// takes a scenario selection, expands it to the deterministic unit list
+// (internal/scenario), and dispatches units across a pool of remote
+// `racesim serve` workers over the /v1/jobs HTTP API.
+//
+// The design goals, in order:
+//
+//   - byte-exactness: every unit renders on exactly one worker and the
+//     coordinator concatenates artifacts in global expansion order, so
+//     the assembled output is byte-identical to a single-process
+//     unsharded `racesim experiments` run — the same contract local
+//     sharding already honors — regardless of worker count, scheduling
+//     order, retries or mid-run worker loss;
+//   - bounded in-flight windows: each worker holds at most Window units
+//     at once (submitted or queued on its own bounded job queue), so a
+//     slow worker backs pressure up to the coordinator instead of
+//     hoarding the tail of the sweep;
+//   - dependency-artifact affinity: units declare the shared preparation
+//     artifacts they consume (e.g. "stages:a53"); the scheduler prefers
+//     placing a unit on a worker that already built its artifacts, so
+//     the worker's warm in-process cache is reused instead of re-derived;
+//   - failure isolation: a unit that fails on a worker is retried with
+//     exponential backoff on another worker (bounded by Retries); a
+//     worker with DeadAfter consecutive failures is marked dead and
+//     never assigned again. The sweep only fails when a unit exhausts
+//     its attempts or no live workers remain;
+//   - cache federation: the coordinator pre-seeds every worker from its
+//     snapshot (CachePath) before the round, collects each worker's
+//     checksummed snapshot delta at drain, merges them last-writer-wins
+//     into one snapshot and persists it — so a re-run of an overlapping
+//     selection is warm cluster-wide, not just per-process.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"racesim/internal/engine"
+	"racesim/internal/scenario"
+	"racesim/internal/simcache"
+)
+
+// Options configures one coordinated sweep.
+type Options struct {
+	// Workers are the base URLs of the serve workers (e.g.
+	// "http://10.0.0.2:8080"). At least one must be reachable.
+	Workers []string
+	// Window bounds in-flight units per worker (default 2: one running,
+	// one queued behind it so the worker never idles between units).
+	Window int
+	// Retries bounds how many times one unit is reassigned after a
+	// failure before the sweep fails (default 3).
+	Retries int
+	// DeadAfter marks a worker dead after this many consecutive unit
+	// failures (default 2).
+	DeadAfter int
+	// Backoff is the base delay before a failed unit is redispatched,
+	// doubled per attempt (default 500ms).
+	Backoff time.Duration
+	// Poll is the job status polling interval (default 150ms).
+	Poll time.Duration
+	// CachePath, when set, federates the simulation cache: loaded and
+	// pre-seeded to every worker before the round, worker deltas merged
+	// and saved back after it.
+	CachePath string
+
+	// Scenario is the selection (comma-separated names/globs, "all" =
+	// paper set) — the same selector `racesim experiments -scenario`
+	// takes.
+	Scenario string
+	// Experiment options forwarded verbatim to every worker job; zero
+	// values select the engine's documented defaults.
+	Scale            float64
+	Events           int
+	Budget1, Budget2 int
+	Seed             int64
+
+	// Log receives coordinator progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// Report summarizes a completed sweep.
+type Report struct {
+	// Units is the number of units executed (== the expansion size).
+	Units int
+	// Completed counts units rendered per worker URL.
+	Completed map[string]int
+	// Reassigned counts unit dispatches that failed and were retried.
+	Reassigned int
+	// Dead lists workers marked dead during the round.
+	Dead []string
+	// Cache aggregates the per-worker shared-cache statistics deltas
+	// across the round — the cluster-wide hit/miss picture.
+	Cache simcache.Stats
+	// MergedEntries is the federated snapshot size after merging worker
+	// deltas; SnapshotRejected counts delta entries failing their
+	// checksum.
+	MergedEntries    int
+	SnapshotRejected uint64
+}
+
+// workerState is the coordinator's view of one serve worker.
+type workerState struct {
+	url        string
+	client     *engine.Client
+	inflight   int
+	artifacts  map[string]bool // dependency artifacts dispatched here
+	dead       bool
+	failStreak int
+	completed  int
+	before     engine.Health
+	sampled    bool
+}
+
+// unitState tracks one unit through dispatch and retries.
+type unitState struct {
+	unit       scenario.Unit
+	attempts   int
+	lastWorker int
+}
+
+const (
+	evDone = iota
+	evFail
+	evRequeue
+)
+
+type event struct {
+	kind     int
+	unitIdx  int
+	worker   int
+	artifact string
+	err      error
+}
+
+// Run executes the sweep and returns the assembled artifact — the bytes
+// a single-process `racesim experiments -scenario <selection>` run
+// writes to stdout.
+func Run(ctx context.Context, opts Options) (string, Report, error) {
+	rep := Report{Completed: map[string]int{}}
+	log := opts.Log
+	if log == nil {
+		log = func(string, ...any) {}
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 2
+	}
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	deadAfter := opts.DeadAfter
+	if deadAfter <= 0 {
+		deadAfter = 2
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	if len(opts.Workers) == 0 {
+		return "", rep, fmt.Errorf("cluster: no workers")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Expand the selection exactly as a worker will: the unit IDs the
+	// coordinator dispatches name the same units in the worker's own
+	// expansion of the same selection.
+	selected, err := scenario.Select(scenario.Registry(), opts.Scenario)
+	if err != nil {
+		return "", rep, err
+	}
+	units, err := scenario.Expand(selected)
+	if err != nil {
+		return "", rep, err
+	}
+	rep.Units = len(units)
+
+	workers := make([]*workerState, len(opts.Workers))
+	alive := 0
+	for i, url := range opts.Workers {
+		w := &workerState{
+			url:       strings.TrimRight(url, "/"),
+			artifacts: map[string]bool{},
+		}
+		w.client = engine.NewClient(w.url)
+		w.client.Log = log
+		workers[i] = w
+		h, err := w.client.Health(ctx)
+		if err != nil {
+			w.dead = true
+			log("sweep: worker %s unreachable at start: %v", w.url, err)
+			continue
+		}
+		w.before, w.sampled = h, true
+		alive++
+	}
+	if alive == 0 {
+		return "", rep, fmt.Errorf("cluster: none of the %d workers are reachable", len(workers))
+	}
+	log("sweep: %d units across %d workers (window %d)", len(units), alive, window)
+
+	// Federation, inbound half: warm every worker from the coordinator's
+	// snapshot so overlapping selections re-run at cluster-wide hits.
+	fed := simcache.New()
+	if opts.CachePath != "" {
+		if err := simcache.ValidatePath(opts.CachePath); err != nil {
+			return "", rep, err
+		}
+		n, rejected, err := fed.LoadChecked(opts.CachePath)
+		if err != nil {
+			return "", rep, err
+		}
+		if rejected > 0 {
+			log("sweep: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
+		}
+		if n > 0 {
+			log("sweep: cache: loaded %d entries from %s", n, opts.CachePath)
+			data, err := fed.Marshal()
+			if err != nil {
+				return "", rep, err
+			}
+			for _, w := range workers {
+				if w.dead {
+					continue
+				}
+				if _, err := w.client.ImportSnapshot(ctx, data); err != nil {
+					w.dead = true
+					alive--
+					log("sweep: worker %s failed pre-seed: %v", w.url, err)
+					continue
+				}
+				// The import moved the worker's stats; resample the baseline.
+				if h, err := w.client.Health(ctx); err == nil {
+					w.before = h
+				}
+			}
+			if alive == 0 {
+				return "", rep, fmt.Errorf("cluster: every worker failed pre-seeding")
+			}
+			log("sweep: pre-seeded %d workers with %d entries", alive, n)
+		}
+	}
+
+	ustates := make([]*unitState, len(units))
+	pending := make([]int, len(units))
+	for i, u := range units {
+		ustates[i] = &unitState{unit: u, lastWorker: -1}
+		pending[i] = i
+	}
+	results := make([]string, len(units))
+	// Buffered past the worst case (one completion or requeue timer per
+	// unit at a time) so goroutines abandoned by an early error return
+	// never block on send.
+	events := make(chan event, 2*len(units)+len(workers))
+	outstanding := 0
+	completed := 0
+
+	aliveCount := func() int {
+		n := 0
+		for _, w := range workers {
+			if !w.dead {
+				n++
+			}
+		}
+		return n
+	}
+
+	// pickUnit chooses the best pending unit for a worker: the one whose
+	// dependency artifacts overlap most with what the worker has already
+	// built (warm-context affinity), ties broken by lowest global index
+	// (deterministic, keeps the output tail short). A retried unit avoids
+	// the worker it just failed on while an alternative exists.
+	pickUnit := func(wi int) int {
+		w := workers[wi]
+		best, bestScore := -1, -1
+		for pi, ui := range pending {
+			u := ustates[ui]
+			if u.attempts > 0 && u.lastWorker == wi && aliveCount() > 1 {
+				continue
+			}
+			score := 0
+			for _, d := range u.unit.Deps {
+				if w.artifacts[d] {
+					score++
+				}
+			}
+			if score > bestScore || (score == bestScore && best >= 0 && ui < pending[best]) {
+				best, bestScore = pi, score
+			}
+		}
+		return best
+	}
+
+	runUnit := func(wi, ui int) {
+		w, u := workers[wi], ustates[ui]
+		job := engine.Job{Kind: engine.KindExperiments, Experiments: &engine.ExperimentsJob{
+			Scenario: opts.Scenario,
+			Units:    u.unit.ID,
+			Scale:    opts.Scale,
+			Events:   opts.Events,
+			Budget1:  opts.Budget1,
+			Budget2:  opts.Budget2,
+			Seed:     opts.Seed,
+			Quiet:    true,
+		}}
+		id, err := w.client.Submit(ctx, job)
+		if err != nil {
+			events <- event{kind: evFail, unitIdx: ui, worker: wi, err: err}
+			return
+		}
+		st, err := w.client.Wait(ctx, id, opts.Poll)
+		if err != nil {
+			events <- event{kind: evFail, unitIdx: ui, worker: wi, err: err}
+			return
+		}
+		if st.Status != "done" || st.Result == nil {
+			events <- event{kind: evFail, unitIdx: ui, worker: wi,
+				err: fmt.Errorf("job %s %s: %s", id, st.Status, st.Error)}
+			return
+		}
+		events <- event{kind: evDone, unitIdx: ui, worker: wi, artifact: st.Result.Artifact}
+	}
+
+	dispatch := func() {
+		for {
+			progressed := false
+			for wi, w := range workers {
+				if w.dead || w.inflight >= window || len(pending) == 0 {
+					continue
+				}
+				pi := pickUnit(wi)
+				if pi < 0 {
+					continue
+				}
+				ui := pending[pi]
+				pending = append(pending[:pi], pending[pi+1:]...)
+				u := ustates[ui]
+				w.inflight++
+				for _, d := range u.unit.Deps {
+					w.artifacts[d] = true
+				}
+				outstanding++
+				log("sweep: [%d/%d] %s -> %s%s", u.unit.Index+1, len(units), u.unit.ID, w.url,
+					map[bool]string{true: " (retry)", false: ""}[u.attempts > 0])
+				go runUnit(wi, ui)
+				progressed = true
+			}
+			if !progressed {
+				return
+			}
+		}
+	}
+
+	dispatch()
+	for completed < len(units) {
+		if outstanding == 0 {
+			return "", rep, fmt.Errorf("cluster: no live workers remain (%d of %d units unfinished)",
+				len(units)-completed, len(units))
+		}
+		ev := <-events
+		w := workers[ev.worker]
+		switch ev.kind {
+		case evDone:
+			outstanding--
+			w.inflight--
+			w.failStreak = 0
+			w.completed++
+			rep.Completed[w.url]++
+			results[ev.unitIdx] = ev.artifact
+			completed++
+		case evFail:
+			outstanding--
+			w.inflight--
+			w.failStreak++
+			if !w.dead && w.failStreak >= deadAfter {
+				w.dead = true
+				rep.Dead = append(rep.Dead, w.url)
+				log("sweep: worker %s marked dead after %d consecutive failures", w.url, w.failStreak)
+			}
+			u := ustates[ev.unitIdx]
+			u.attempts++
+			u.lastWorker = ev.worker
+			if u.attempts > retries {
+				return "", rep, fmt.Errorf("cluster: unit %s failed %d times, last on %s: %w",
+					u.unit.ID, u.attempts, w.url, ev.err)
+			}
+			rep.Reassigned++
+			delay := backoff << (u.attempts - 1)
+			log("sweep: unit %s failed on %s (attempt %d/%d): %v; redispatching in %v",
+				u.unit.ID, w.url, u.attempts, retries+1, ev.err, delay)
+			outstanding++ // the requeue timer keeps the loop alive
+			ui := ev.unitIdx
+			time.AfterFunc(delay, func() { events <- event{kind: evRequeue, unitIdx: ui} })
+		case evRequeue:
+			outstanding--
+			pending = append(pending, ev.unitIdx)
+		}
+		dispatch()
+	}
+
+	// Federation, outbound half: collect every surviving worker's delta
+	// (what it computed this round), merge checksummed last-writer-wins,
+	// persist. Also aggregate the cache statistics deltas — the
+	// cluster-wide effectiveness picture.
+	rejectedBefore := fed.Stats().Rejected
+	for _, w := range workers {
+		if w.dead {
+			continue
+		}
+		data, err := w.client.ExportSnapshot(ctx, true)
+		if err != nil {
+			log("sweep: worker %s: delta export failed: %v", w.url, err)
+			continue
+		}
+		added, _, err := fed.LoadBytes(data)
+		if err != nil {
+			log("sweep: worker %s: delta merge failed: %v", w.url, err)
+			continue
+		}
+		log("sweep: worker %s contributed %d cache entries", w.url, added)
+		if w.sampled {
+			if h, err := w.client.Health(ctx); err == nil {
+				rep.Cache.Hits += h.Cache.Hits - w.before.Cache.Hits
+				rep.Cache.Misses += h.Cache.Misses - w.before.Cache.Misses
+				rep.Cache.Shared += h.Cache.Shared - w.before.Cache.Shared
+				rep.Cache.Entries += h.Cache.Entries
+			}
+		}
+	}
+	rep.SnapshotRejected = fed.Stats().Rejected - rejectedBefore
+	if rep.SnapshotRejected > 0 {
+		log("sweep: rejected %d corrupted delta entries", rep.SnapshotRejected)
+	}
+	rep.MergedEntries = fed.Stats().Entries
+	if opts.CachePath != "" {
+		if err := fed.SaveFile(opts.CachePath); err != nil {
+			return "", rep, fmt.Errorf("cluster: save federated snapshot %s: %w", opts.CachePath, err)
+		}
+		log("sweep: cache: saved %d federated entries to %s", rep.MergedEntries, opts.CachePath)
+	}
+	sort.Strings(rep.Dead)
+	log("sweep: cluster cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate)",
+		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Shared, rep.Cache.HitRate()*100)
+
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r)
+	}
+	return b.String(), rep, nil
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a typed client for the serve HTTP API (see Server.Handler).
+// It is what the distributed sweep coordinator (internal/cluster) speaks
+// to every worker, and the reference implementation of the API's
+// client-side contract: back-pressure (429 + Retry-After) is honored by
+// waiting and resubmitting, transient poll failures are retried a
+// bounded number of times, and every error carries the server's own
+// error message when one was sent.
+type Client struct {
+	// BaseURL is the worker's root URL, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// Retries bounds back-pressure resubmissions in Submit and tolerated
+	// consecutive poll failures in Wait (default 4).
+	Retries int
+	// Backoff is the base delay between retries, doubled per attempt,
+	// when the server did not send a Retry-After hint (default 500ms).
+	Backoff time.Duration
+	// Log receives retry/back-pressure notices; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// NewClient returns a client for a worker base URL with default retry
+// policy.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 4
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	return base << attempt
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// apiErrorOf extracts the server's error message from a non-2xx
+// response, falling back to the status line.
+func apiErrorOf(resp *http.Response, body []byte) error {
+	var ae apiError
+	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Request.URL.Path, ae.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Request.URL.Path, resp.Status)
+}
+
+// Submit posts a job and returns its server-assigned ID. A 429 answer
+// (queue full) is back-pressure, not failure: Submit waits the server's
+// Retry-After hint (or an exponential backoff when absent) and resubmits,
+// up to Retries times.
+func (c *Client) Submit(ctx context.Context, job Job) (string, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return "", err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return "", err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries() {
+			delay := c.backoff(attempt)
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					delay = time.Duration(secs) * time.Second
+				}
+			}
+			c.logf("client: %s: queue full, retrying in %v", c.BaseURL, delay)
+			select {
+			case <-time.After(delay):
+				continue
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return "", apiErrorOf(resp, data)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil || out.ID == "" {
+			return "", fmt.Errorf("submit: malformed response %q", data)
+		}
+		return out.ID, nil
+	}
+}
+
+// getJSON fetches path and decodes the JSON body into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorOf(resp, data)
+	}
+	return json.Unmarshal(data, v)
+}
+
+// Status fetches one job's status (result included once finished).
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Health fetches the worker's liveness and cache statistics.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Wait polls a job until it reaches done or failed, tolerating up to
+// Retries consecutive poll failures (a worker restarting its network
+// stack should not fail the unit; a worker that is gone should).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 150 * time.Millisecond
+	}
+	var failures int
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return JobStatus{}, ctx.Err()
+			}
+			failures++
+			if failures > c.retries() {
+				return JobStatus{}, fmt.Errorf("job %s: %d consecutive poll failures: %w", id, failures, err)
+			}
+		} else {
+			failures = 0
+			switch st.Status {
+			case "done", "failed":
+				return st, nil
+			}
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// ExportSnapshot downloads the worker's shared-cache snapshot; with
+// delta, only entries computed since the last import (the worker's own
+// contribution).
+func (c *Client) ExportSnapshot(ctx context.Context, delta bool) ([]byte, error) {
+	path := "/v1/cache/snapshot"
+	if delta {
+		path += "?delta=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorOf(resp, data)
+	}
+	return data, err
+}
+
+// ImportSnapshot merges snapshot bytes into the worker's shared cache
+// (checksum-verified, last-writer-wins) and resets its delta baseline.
+func (c *Client) ImportSnapshot(ctx context.Context, data []byte) (SnapshotReport, error) {
+	var rep SnapshotReport
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/cache/snapshot", bytes.NewReader(data))
+	if err != nil {
+		return rep, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return rep, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, apiErrorOf(resp, body)
+	}
+	return rep, json.Unmarshal(body, &rep)
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"racesim/internal/simcache"
+)
+
+func TestClientSubmitHonorsRetryAfter(t *testing.T) {
+	// A worker that answers 429 + Retry-After twice before accepting: the
+	// client must wait the hinted delay and resubmit, not fail.
+	var posts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "engine: job queue is full"})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, struct {
+			ID string `json:"id"`
+		}{ID: "job-000007"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Backoff = time.Millisecond
+	id, err := c.Submit(context.Background(), Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-000007" {
+		t.Errorf("id = %q", id)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Errorf("client posted %d times, want 3 (2 back-pressured + 1 accepted)", got)
+	}
+
+	// With retries exhausted, the back-pressure error surfaces.
+	posts.Store(-100)
+	c.Retries = 1
+	if _, err := c.Submit(context.Background(), Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}}); err == nil {
+		t.Error("endless 429 did not surface an error")
+	}
+}
+
+func TestServerQueueFullAnswers429WithRetryAfter(t *testing.T) {
+	// A server with no worker goroutines: the depth-1 queue fills on the
+	// first submission and never drains, so the full-queue answer is
+	// deterministic.
+	srv := &Server{
+		opts:  ServerOptions{QueueDepth: 1, KeepLog: 5, KeepJobs: 16},
+		cache: simcache.New(),
+		log:   func(string, ...any) {},
+		jobs:  map[string]*jobState{},
+		queue: make(chan *jobState, 1),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, code := postJob(t, ts, Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}}); code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	body, _ := json.Marshal(Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue answered %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+}
+
+func TestServerSnapshotFederation(t *testing.T) {
+	// Worker A computes a result, exports its delta; worker B imports it
+	// and answers the same job without a single miss — the cache
+	// federation path the sweep coordinator drives between rounds.
+	a, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	defer tsA.Close()
+	ca := NewClient(tsA.URL)
+	ctx := context.Background()
+
+	runJob := Job{Kind: KindRun, Run: &RunJob{Ubench: "MD", Scale: 0.002}}
+	id, err := ca.Submit(ctx, runJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := ca.Wait(ctx, id, 10*time.Millisecond); err != nil || st.Status != "done" {
+		t.Fatalf("run job: %v / %+v", err, st)
+	}
+
+	// With no startup warm-up the baseline is empty: the delta is the
+	// full contribution.
+	delta, err := ca.ExportSnapshot(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := simcache.New()
+	added, _, err := check.LoadBytes(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("delta snapshot is empty after a simulating job")
+	}
+
+	b, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	cb := NewClient(tsB.URL)
+
+	rep, err := cb.ImportSnapshot(ctx, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Added != added || rep.Rejected != 0 {
+		t.Errorf("import report %+v, want %d added, 0 rejected", rep, added)
+	}
+	// The import resets B's delta baseline: B has contributed nothing yet.
+	bDelta, err := cb.ExportSnapshot(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := simcache.New()
+	if n, _, err := empty.LoadBytes(bDelta); err != nil || n != 0 {
+		t.Errorf("pre-seeded worker's delta has %d entries (err %v), want 0", n, err)
+	}
+
+	before, err := cb.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err = cb.Submit(ctx, runJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := cb.Wait(ctx, id, 10*time.Millisecond); err != nil || st.Status != "done" {
+		t.Fatalf("warm run job: %v / %+v", err, st)
+	}
+	after, err := cb.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss := after.Cache.Misses - before.Cache.Misses; miss != 0 {
+		t.Errorf("pre-seeded worker simulated %d units, want 0", miss)
+	}
+	if hits := after.Cache.Hits - before.Cache.Hits; hits == 0 {
+		t.Error("pre-seeded worker reported no hits")
+	}
+
+	a.Drain(ctx)
+	b.Drain(ctx)
+}

@@ -97,6 +97,12 @@ type ExperimentsJob struct {
 	ListScenarios bool `json:"list_scenarios,omitempty"`
 	// Shard runs partition "i/n" of the expanded unit list.
 	Shard string `json:"shard,omitempty"`
+	// Units restricts the run to the named units of the expanded
+	// selection (comma-separated unit IDs, e.g.
+	// "fig4,budget-sweep-a53/budget=600"), preserving expansion order.
+	// This is how the distributed sweep coordinator addresses one unit
+	// per worker job. Incompatible with Shard.
+	Units string `json:"units,omitempty"`
 	// Resume checkpoints the simulation cache after every unit (implies a
 	// default cache path when Options.CachePath is empty).
 	Resume bool `json:"resume,omitempty"`

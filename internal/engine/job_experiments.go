@@ -88,6 +88,16 @@ func (e *env) experimentsJob(j *ExperimentsJob) error {
 		return err
 	}
 	total := len(units)
+	if j.Units != "" {
+		if j.Shard != "" {
+			return fmt.Errorf("cannot combine units and shard; both partition the expansion")
+		}
+		units, err = scenario.FilterUnits(units, strings.Split(j.Units, ","))
+		if err != nil {
+			return err
+		}
+		logf("scenario: units %s: %d of %d units", j.Units, len(units), total)
+	}
 	si, sn, err := scenario.ParseShard(j.Shard)
 	if err != nil {
 		return err

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -126,6 +128,12 @@ type Server struct {
 	done     []string // finished job ids, completion order (eviction queue)
 	seq      int
 	draining bool
+	// seeded is the delta-export baseline: the cache keys present after
+	// the last snapshot import (or the startup warm-up). GET
+	// /v1/cache/snapshot?delta=1 exports only entries computed since, so
+	// a sweep coordinator collecting worker deltas does not re-download
+	// what it seeded. Replaced wholesale under mu, read-only afterwards.
+	seeded map[string]bool
 
 	queue chan *jobState
 	wg    sync.WaitGroup
@@ -170,6 +178,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 		log("serve: cache: loaded %d entries from %s", n, opts.CachePath)
 	}
+	s.resetSeedBaseline()
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -244,8 +253,10 @@ func (st *jobState) statusString() string {
 	return st.status
 }
 
-// Submission failures that mean "retry later", not "bad job" — the HTTP
-// layer maps them to 503 instead of 400.
+// Submission failures that mean "retry later", not "bad job". The HTTP
+// layer maps ErrQueueFull to 429 with a Retry-After header (transient
+// back-pressure the Client resubmits through) and ErrDraining to 503
+// (the server is going away for good).
 var (
 	ErrDraining  = errors.New("engine: server is draining")
 	ErrQueueFull = errors.New("engine: job queue is full")
@@ -349,6 +360,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/cache/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /v1/cache/snapshot", s.handleSnapshotPut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -376,7 +389,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, err := s.Submit(job)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// A full queue is back-pressure, not an outage: tell the client
+			// when to come back. Job runtimes are seconds-to-minutes, so a
+			// short hint keeps well-behaved clients from hammering the
+			// endpoint without stalling them long past the next free slot.
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		case errors.Is(err, ErrDraining):
 			code = http.StatusServiceUnavailable
 		}
 		writeJSON(w, code, apiError{Error: err.Error()})
@@ -492,20 +513,107 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// Health is the GET /healthz response — liveness plus the queue and
+// shared-cache statistics a sweep coordinator samples around a round to
+// report cluster-wide cache effectiveness.
+type Health struct {
+	Status  string         `json:"status"` // ok | draining
+	Queued  int            `json:"queued"`
+	Jobs    int            `json:"jobs"`
+	Workers int            `json:"workers"`
+	Cache   simcache.Stats `json:"cache"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	total := len(s.order)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
-		Status  string         `json:"status"`
-		Queued  int            `json:"queued"`
-		Jobs    int            `json:"jobs"`
-		Workers int            `json:"workers"`
-		Cache   simcache.Stats `json:"cache"`
-	}{
+	writeJSON(w, http.StatusOK, Health{
 		Status: map[bool]string{false: "ok", true: "draining"}[draining],
 		Queued: len(s.queue), Jobs: total, Workers: s.opts.Workers,
 		Cache: s.cache.Stats(),
 	})
 }
+
+// retryAfterSeconds is the Retry-After hint on queue-full 429 responses.
+const retryAfterSeconds = 2
+
+// SnapshotReport is the POST /v1/cache/snapshot response.
+type SnapshotReport struct {
+	Added    int    `json:"added"`    // new entries merged in
+	Replaced int    `json:"replaced"` // entries overwritten (last-writer-wins)
+	Rejected uint64 `json:"rejected"` // entries failing their checksum
+	Entries  int    `json:"entries"`  // cache size after the import
+}
+
+// resetSeedBaseline records the current key set as "seeded": subsequent
+// delta exports carry only entries computed after this point.
+func (s *Server) resetSeedBaseline() {
+	keys := s.cache.Keys()
+	base := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		base[k] = true
+	}
+	s.mu.Lock()
+	s.seeded = base
+	s.mu.Unlock()
+}
+
+// handleSnapshotGet serves the shared cache as a checksummed snapshot
+// (the SaveFile format). ?delta=1 restricts it to entries computed since
+// the last import/startup baseline — what this worker contributed.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	var skip func(string) bool
+	if q := r.URL.Query().Get("delta"); q != "" {
+		delta, err := strconv.ParseBool(q)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("delta=%q: want a boolean", q)})
+			return
+		}
+		if delta {
+			s.mu.Lock()
+			base := s.seeded // replaced wholesale, never mutated: safe to read
+			s.mu.Unlock()
+			skip = func(key string) bool { return base[key] }
+		}
+	}
+	data, err := s.cache.MarshalFiltered(skip)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleSnapshotPut merges a posted snapshot into the shared cache
+// (checksum-verified, last-writer-wins) and resets the delta baseline —
+// the coordinator's pre-seed path that makes a fresh worker warm.
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("snapshot body: %v", err)})
+		return
+	}
+	before := s.cache.Stats().Rejected
+	added, replaced, err := s.cache.LoadBytes(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.resetSeedBaseline()
+	st := s.cache.Stats()
+	s.log("serve: cache: imported snapshot (%d added, %d replaced, %d rejected)",
+		added, replaced, st.Rejected-before)
+	writeJSON(w, http.StatusOK, SnapshotReport{
+		Added:    added,
+		Replaced: replaced,
+		Rejected: st.Rejected - before,
+		Entries:  st.Entries,
+	})
+}
+
+// maxSnapshotBytes bounds a posted cache snapshot (the job body bound is
+// 1 MiB; snapshots are legitimately much larger).
+const maxSnapshotBytes = 256 << 20

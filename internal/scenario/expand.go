@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"strconv"
 	"strings"
 
 	"racesim/internal/expt"
@@ -166,16 +167,28 @@ func Names(specs []Spec) []string {
 	return out
 }
 
-// ParseShard parses an "i/n" shard selector (1-based).
+// ParseShard parses an "i/n" shard selector (1-based). Anything but two
+// positive decimal integers separated by exactly one slash is rejected —
+// a mistyped selector must fail loudly, not silently run the wrong
+// partition of a long sweep.
 func ParseShard(s string) (i, n int, err error) {
 	if s == "" {
 		return 1, 1, nil
 	}
-	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
-		return 0, 0, fmt.Errorf("scenario: shard %q: want i/n", s)
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("scenario: shard %q: want i/n (e.g. 2/4)", s)
 	}
-	if n < 1 || i < 1 || i > n {
-		return 0, 0, fmt.Errorf("scenario: shard %d/%d out of range", i, n)
+	i, errI := strconv.Atoi(is)
+	n, errN := strconv.Atoi(ns)
+	if errI != nil || errN != nil {
+		return 0, 0, fmt.Errorf("scenario: shard %q: i and n must be decimal integers", s)
+	}
+	if n < 1 || i < 1 {
+		return 0, 0, fmt.Errorf("scenario: shard %d/%d: i and n are 1-based and positive", i, n)
+	}
+	if i > n {
+		return 0, 0, fmt.Errorf("scenario: shard %d/%d: index exceeds shard count", i, n)
 	}
 	return i, n, nil
 }
@@ -191,6 +204,44 @@ func Shard(units []Unit, i, n int) []Unit {
 	lo := (i - 1) * len(units) / n
 	hi := i * len(units) / n
 	return units[lo:hi]
+}
+
+// FilterUnits returns the units whose IDs are listed in ids, preserving
+// expansion order (not ids order) so a filtered run renders a
+// subsequence of the unsharded artifact. Every id must name a unit of
+// the expansion exactly once; an unknown id is an error. This is the
+// per-unit dispatch primitive of the distributed sweep coordinator: a
+// worker job names the single unit it should run out of the same
+// selection the coordinator expanded.
+func FilterUnits(units []Unit, ids []string) ([]Unit, error) {
+	want := map[string]bool{}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("scenario: empty unit selection")
+	}
+	var out []Unit
+	for _, u := range units {
+		if want[u.ID] {
+			out = append(out, u)
+			delete(want, u.ID)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("scenario: unknown unit id(s) %s in this selection",
+			strings.Join(missing, ", "))
+	}
+	return out, nil
 }
 
 // Artifacts returns the sorted union of the dependency artifacts the

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"racesim/internal/core"
 )
@@ -123,28 +122,7 @@ func (c *Cache) SaveFile(path string) error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	f := file{Format: fileFormat, Entries: make([]entry, 0, len(keys))}
-	var sumErr error
-	for _, k := range keys {
-		res := c.entries[k]
-		sum, err := checksum(k, res)
-		if err != nil {
-			sumErr = err
-			break
-		}
-		f.Entries = append(f.Entries, entry{Key: k, Result: res, Sum: sum})
-	}
-	c.mu.Unlock()
-	if sumErr != nil {
-		return fmt.Errorf("simcache: %w", sumErr)
-	}
-	data, err := json.MarshalIndent(f, "", " ")
+	data, err := c.Marshal()
 	if err != nil {
 		return err
 	}
@@ -152,7 +130,7 @@ func (c *Cache) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

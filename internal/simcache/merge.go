@@ -1,0 +1,133 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file is the federation surface of the cache: snapshots as bytes
+// (instead of files) plus a checksum-verified merge. The distributed
+// sweep coordinator (internal/cluster) ships snapshots between workers
+// over HTTP — pre-seeding a round, collecting per-worker deltas at drain
+// — and `racesim cache merge` joins operator-held snapshot files. Every
+// entry crossing a cache boundary re-proves its key-binding checksum, so
+// a corrupted worker snapshot cannot poison the federated cache.
+
+// Keys returns the stored entry keys, sorted. The sorted order is the
+// snapshot serialization order, so two caches with equal Keys() and
+// equal entries marshal to identical bytes.
+func (c *Cache) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Marshal serializes every stored result in the checksummed snapshot
+// format — the same bytes SaveFile writes.
+func (c *Cache) Marshal() ([]byte, error) {
+	return c.MarshalFiltered(nil)
+}
+
+// MarshalFiltered serializes the snapshot, omitting keys for which skip
+// returns true. A nil skip keeps everything. This is the delta-export
+// primitive: a serve worker marshals with skip = "key was pre-seeded",
+// so the coordinator receives only what the worker computed itself.
+func (c *Cache) MarshalFiltered(skip func(key string) bool) ([]byte, error) {
+	if c == nil {
+		return json.Marshal(file{Format: fileFormat})
+	}
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		if skip != nil && skip(k) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := file{Format: fileFormat, Entries: make([]entry, 0, len(keys))}
+	var sumErr error
+	for _, k := range keys {
+		res := c.entries[k]
+		sum, err := checksum(k, res)
+		if err != nil {
+			sumErr = err
+			break
+		}
+		f.Entries = append(f.Entries, entry{Key: k, Result: res, Sum: sum})
+	}
+	c.mu.Unlock()
+	if sumErr != nil {
+		return nil, fmt.Errorf("simcache: %w", sumErr)
+	}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadBytes merges snapshot bytes into the cache with checksum
+// verification and last-writer-wins semantics: an incoming entry that
+// passes its checksum replaces a stored entry under the same key (the
+// federation contract — for a deterministic simulator both sides hold
+// the same result, so the overwrite is a no-op in value). Entries
+// failing the checksum are dropped and counted in Stats.Rejected. A
+// snapshot in an unknown format is an error: unlike a stale disk
+// checkpoint, bytes handed to LoadBytes were produced by a peer that
+// should speak the current format.
+func (c *Cache) LoadBytes(data []byte) (added, replaced int, err error) {
+	if c == nil {
+		return 0, 0, fmt.Errorf("simcache: LoadBytes on a nil cache")
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, 0, fmt.Errorf("simcache: snapshot: %w", err)
+	}
+	if f.Format != fileFormat {
+		return 0, 0, fmt.Errorf("simcache: snapshot format %d, want %d", f.Format, fileFormat)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range f.Entries {
+		sum, err := checksum(e.Key, e.Result)
+		if err != nil || sum != e.Sum {
+			c.rejected++
+			continue
+		}
+		if _, ok := c.entries[e.Key]; ok {
+			replaced++
+		} else {
+			added++
+		}
+		c.entries[e.Key] = e.Result
+	}
+	return added, replaced, nil
+}
+
+// Merge merges every entry of other into c, last-writer-wins on
+// identical keys. The entries round-trip through the checksummed
+// snapshot format, so the same verification that guards disk and
+// network snapshots guards in-memory merges.
+func (c *Cache) Merge(other *Cache) (added, replaced int, err error) {
+	if c == nil {
+		return 0, 0, fmt.Errorf("simcache: Merge into a nil cache")
+	}
+	if other == nil {
+		return 0, 0, nil
+	}
+	data, err := other.Marshal()
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.LoadBytes(data)
+}

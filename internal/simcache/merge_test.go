@@ -1,0 +1,150 @@
+package simcache
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"racesim/internal/sim"
+)
+
+// populate runs a couple of distinct units so the cache has entries.
+func populate(t *testing.T, c *Cache, names ...string) {
+	t.Helper()
+	for _, name := range names {
+		if _, err := c.Run(sim.PublicA53(), testTrace(t, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMarshalLoadBytesRoundTrip(t *testing.T) {
+	src := New()
+	populate(t, src, "MD", "CS1")
+	data, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New()
+	added, replaced, err := dst.LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || replaced != 0 {
+		t.Errorf("added %d replaced %d, want 2/0", added, replaced)
+	}
+	// A second load of the same bytes replaces in place (last-writer-wins).
+	added, replaced, err = dst.LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || replaced != 2 {
+		t.Errorf("re-load: added %d replaced %d, want 0/2", added, replaced)
+	}
+	if dst.Stats().Entries != 2 {
+		t.Errorf("entries = %d, want 2", dst.Stats().Entries)
+	}
+
+	// Marshal is deterministic: equal caches serialize to equal bytes.
+	again, err := dst.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("round-tripped cache marshals to different bytes")
+	}
+}
+
+func TestLoadBytesRejectsCorruption(t *testing.T) {
+	src := New()
+	res, err := src.Run(sim.PublicA53(), testTrace(t, "MD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the cycle count without refreshing the checksum, as corruption
+	// in transit would. The snapshot stays valid JSON; only the entry's
+	// key binding is broken.
+	old := `"Cycles": ` + strconv.FormatUint(res.Cycles, 10)
+	mutated := strings.Replace(string(data), old, `"Cycles": `+strconv.FormatUint(res.Cycles+1, 10), 1)
+	if mutated == string(data) {
+		t.Fatalf("could not find %q in snapshot to poison", old)
+	}
+	dst := New()
+	added, _, err := dst.LoadBytes([]byte(mutated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("poisoned entry accepted (added %d)", added)
+	}
+	if st := dst.Stats(); st.Rejected != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 rejected, 0 entries", st)
+	}
+
+	// Garbage and wrong-format snapshots are hard errors, not silent colds:
+	// federation peers must speak the current format.
+	if _, _, err := dst.LoadBytes([]byte("not json")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	if _, _, err := dst.LoadBytes([]byte(`{"format": 999, "entries": []}`)); err == nil {
+		t.Error("future-format snapshot accepted")
+	}
+}
+
+func TestMergeLastWriterWins(t *testing.T) {
+	a, b := New(), New()
+	populate(t, a, "MD")
+	populate(t, b, "MD", "CS1")
+
+	added, replaced, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || replaced != 1 {
+		t.Errorf("merge: added %d replaced %d, want 1/1", added, replaced)
+	}
+	if a.Stats().Entries != 2 {
+		t.Errorf("entries = %d, want 2", a.Stats().Entries)
+	}
+	// Merging a nil or empty cache is a no-op.
+	if added, replaced, err := a.Merge(nil); err != nil || added+replaced != 0 {
+		t.Errorf("nil merge: %d/%d, %v", added, replaced, err)
+	}
+	if added, replaced, err := a.Merge(New()); err != nil || added+replaced != 0 {
+		t.Errorf("empty merge: %d/%d, %v", added, replaced, err)
+	}
+}
+
+func TestMarshalFilteredDelta(t *testing.T) {
+	c := New()
+	populate(t, c, "MD")
+	baseline := map[string]bool{}
+	for _, k := range c.Keys() {
+		baseline[k] = true
+	}
+	populate(t, c, "CS1")
+
+	delta, err := c.MarshalFiltered(func(key string) bool { return baseline[key] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	added, _, err := dst.LoadBytes(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Errorf("delta carried %d entries, want exactly the post-baseline 1", added)
+	}
+	for _, k := range dst.Keys() {
+		if baseline[k] {
+			t.Errorf("delta leaked baseline key %s", k)
+		}
+	}
+}
