@@ -91,8 +91,16 @@ func BenchmarkFig4MicrobenchTuning(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(validate.MeanError(before)*100, "untuned-err-pct")
-		b.ReportMetric(validate.MeanError(res.Errors)*100, "tuned-err-pct")
+		beforeMean, err := validate.MeanError(before)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tunedMean, err := validate.MeanError(res.Errors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(beforeMean*100, "untuned-err-pct")
+		b.ReportMetric(tunedMean*100, "tuned-err-pct")
 	}
 }
 

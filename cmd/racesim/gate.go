@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racesim/internal/report"
+)
+
+// cmdGate is the CI bench-regression gate: it reads committed
+// BENCH_*.json result files and checks each named metric against the
+// thresholds file (see docs/validation.md). It runs no simulations, so
+// it is cheap enough to run on every push.
+func cmdGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	var (
+		thresholds = fs.String("thresholds", "budgets/bench.json", "bench-regression thresholds JSON file")
+		dir        = fs.String("dir", ".", "directory holding the BENCH_*.json files")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	b, err := report.LoadBenchBudget(*thresholds)
+	if err != nil {
+		return err
+	}
+	if err := report.CheckBench(*dir, b); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "bench gate: %d threshold(s) checked, all within budget\n", len(b.Thresholds))
+	return nil
+}

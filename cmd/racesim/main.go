@@ -50,6 +50,7 @@ subcommands:
   serve        long-lived HTTP job server over a shared warm simulation cache
   sweep        distribute a scenario sweep across serve workers (see docs/distributed.md)
   cache        inspect or merge simulation-cache snapshots
+  gate         check committed BENCH_*.json results against regression thresholds
 
 Run "racesim <subcommand> -h" for the subcommand's flags.
 Bare flags ("racesim -preset ...") are shorthand for "racesim run".
@@ -91,6 +92,8 @@ func main() {
 		err = cmdSweep(args)
 	case "cache":
 		err = cmdCache(args)
+	case "gate":
+		err = cmdGate(args)
 	case "help":
 		usage()
 		return
@@ -208,26 +211,34 @@ func cmdExperiments(args []string) error {
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("racesim validate", flag.ExitOnError)
 	var (
-		coreK   = fs.String("core", "a53", "core to validate: a53 or a72")
-		budget1 = fs.Int("budget1", 3000, "irace budget for tuning round 1")
-		budget2 = fs.Int("budget2", 4000, "irace budget for tuning round 2")
-		scale   = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
-		seed    = fs.Int64("seed", 0, "tuner seed")
-		out     = fs.String("out", "", "write the tuned config JSON here")
-		quiet   = fs.Bool("q", false, "suppress progress output")
+		coreK     = fs.String("core", "a53", "core to validate: a53 or a72")
+		budget1   = fs.Int("budget1", 3000, "irace budget for tuning round 1")
+		budget2   = fs.Int("budget2", 4000, "irace budget for tuning round 2")
+		scale     = fs.Float64("scale", 0.01, "micro-benchmark scale factor")
+		seed      = fs.Int64("seed", 0, "tuner seed")
+		out       = fs.String("out", "", "write the tuned config JSON here")
+		quiet     = fs.Bool("q", false, "suppress progress output")
+		doReport  = fs.Bool("report", false, "render the statistical ValidationReport (see docs/validation.md)")
+		budgets   = fs.String("budgets", "", "accuracy-budget JSON file declaring per-board tolerances")
+		reportDir = fs.String("report-dir", "", "persist the report JSON to <dir>/validate-<core>.json (diffable history)")
+		gate      = fs.Bool("gate", false, "fail (exit non-zero) when the report violates the budget; implies -report")
 	)
 	parallelism, cache, cpuprofile, memprofile := lifecycleFlags(fs)
 	fs.Parse(args)
 	return execute(engine.Job{
 		Kind: engine.KindValidate,
 		Validate: &engine.ValidateJob{
-			Core:    *coreK,
-			Budget1: *budget1,
-			Budget2: *budget2,
-			Scale:   *scale,
-			Seed:    *seed,
-			OutPath: *out,
-			Quiet:   *quiet,
+			Core:       *coreK,
+			Budget1:    *budget1,
+			Budget2:    *budget2,
+			Scale:      *scale,
+			Seed:       *seed,
+			OutPath:    *out,
+			Quiet:      *quiet,
+			Report:     *doReport,
+			BudgetPath: *budgets,
+			ReportDir:  *reportDir,
+			Gate:       *gate,
 		},
 	}, *parallelism, *cache, *cpuprofile, *memprofile)
 }

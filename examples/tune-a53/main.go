@@ -32,9 +32,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	worst, _ := validate.MaxError(before)
+	worst, _, err := validate.MaxError(before)
+	if err != nil {
+		log.Fatal(err)
+	}
+	beforeMean, err := validate.MeanError(before)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("untuned model: mean CPI error %.1f%% (worst: %s at %.1f%%)\n\n",
-		validate.MeanError(before)*100, worst.Name, worst.Error*100)
+		beforeMean*100, worst.Name, worst.Error*100)
 
 	fmt.Println("racing configurations with irace (budget 2000)...")
 	res, err := validate.Tune(public, ms, validate.TuneOptions{
@@ -45,7 +52,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntuned model: mean CPI error %.1f%%\n", validate.MeanError(res.Errors)*100)
+	tunedMean, err := validate.MeanError(res.Errors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuned model: mean CPI error %.1f%%\n", tunedMean*100)
 
 	// Post-hoc: compare recovered parameters against the hidden truth.
 	truth := sim.Extract(plat.A53.TrueConfig())

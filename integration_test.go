@@ -82,9 +82,16 @@ func TestEndToEndTinyValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if validate.MeanError(res.Errors) >= validate.MeanError(before) {
-		t.Errorf("facade tuning did not improve: %.3f -> %.3f",
-			validate.MeanError(before), validate.MeanError(res.Errors))
+	afterMean, err := validate.MeanError(res.Errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeMean, err := validate.MeanError(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterMean >= beforeMean {
+		t.Errorf("facade tuning did not improve: %.3f -> %.3f", beforeMean, afterMean)
 	}
 }
 

@@ -193,6 +193,26 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 	}
 }
 
+// Report fetches a finished validate job's ValidationReport JSON from
+// GET /v1/jobs/{id}/report (the job must have been submitted with
+// validate.report or validate.gate set).
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/report", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorOf(resp, data)
+	}
+	return data, err
+}
+
 // ExportSnapshot downloads the worker's shared-cache snapshot; with
 // delta, only entries computed since the last import (the worker's own
 // contribution).

@@ -83,6 +83,24 @@ type ValidateJob struct {
 	// the same bytes in TunedConfig either way.
 	OutPath string `json:"out_path,omitempty"`
 	Quiet   bool   `json:"quiet,omitempty"` // suppress progress output
+	// Report computes the typed statistical ValidationReport for the
+	// final stage (correlation, RMSE, MAPE, confidence interval, p-value
+	// and budget pass/fail per suite/category, plus plausibility
+	// violations), appends its rendered text to the artifact and carries
+	// the JSON in Result.Report (served at GET /v1/jobs/{id}/report).
+	Report bool `json:"report,omitempty"`
+	// BudgetPath loads accuracy tolerances from a budget file
+	// (batch-only); BudgetJSON inlines the same JSON for HTTP clients.
+	// At most one; empty means no tolerances (the report still carries
+	// every metric and passes).
+	BudgetPath string          `json:"budget_path,omitempty"`
+	BudgetJSON json.RawMessage `json:"budget_json,omitempty"`
+	// ReportDir persists the report JSON to <dir>/validate-<core>.json
+	// (batch-only) — the diffable accuracy history across PRs.
+	ReportDir string `json:"report_dir,omitempty"`
+	// Gate makes a budget violation fail the job after all artifacts are
+	// written — the CI accuracy gate. Implies Report.
+	Gate bool `json:"gate,omitempty"`
 }
 
 // ExperimentsJob regenerates paper tables/figures and runs scenario
@@ -178,6 +196,9 @@ type Result struct {
 	Log string `json:"log,omitempty"`
 	// TunedConfig carries the tuned configuration JSON of a validate job.
 	TunedConfig json.RawMessage `json:"tuned_config,omitempty"`
+	// Report carries the ValidationReport JSON of a validate job run
+	// with Report/Gate set (see internal/report for the schema).
+	Report json.RawMessage `json:"report,omitempty"`
 	// CacheStats snapshots the simulation cache after the job. Under a
 	// shared cache the counters are cumulative across jobs.
 	CacheStats simcache.Stats `json:"cache_stats"`
@@ -195,6 +216,7 @@ type env struct {
 	outBuf, errBuf bytes.Buffer
 
 	tunedConfig json.RawMessage
+	report      json.RawMessage
 }
 
 func (e *env) printf(format string, args ...any) {
@@ -269,6 +291,8 @@ func (j Job) CheckServerSafe() error {
 	}
 	if j.Validate != nil {
 		add("validate.out_path", j.Validate.OutPath)
+		add("validate.budget_path", j.Validate.BudgetPath)
+		add("validate.report_dir", j.Validate.ReportDir)
 	}
 	if j.Experiments != nil {
 		add("experiments.manifest", j.Experiments.Manifest)
@@ -329,6 +353,7 @@ func Execute(job Job, opts Options) (*Result, error) {
 	res.Artifact = e.outBuf.String()
 	res.Log = e.errBuf.String()
 	res.TunedConfig = e.tunedConfig
+	res.Report = e.report
 	res.CacheStats = e.cache.Stats()
 	res.Elapsed = time.Since(start)
 	return res, err

@@ -3,8 +3,11 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"racesim/internal/hw"
+	"racesim/internal/report"
 	"racesim/internal/sim"
 	"racesim/internal/ubench"
 	"racesim/internal/validate"
@@ -33,13 +36,21 @@ func (e *env) validateJob(j *ValidateJob) error {
 	}
 	board := plat.A53
 	public := sim.PublicA53()
+	coreName := "a53"
 	switch j.Core {
 	case "", "a53":
 	case "a72":
 		board = plat.A72
 		public = sim.PublicA72()
+		coreName = "a72"
 	default:
 		return fmt.Errorf("unknown core %q", j.Core)
+	}
+	// Resolve the accuracy budget up front so a bad budget file fails
+	// before hours of tuning, not after.
+	budget, err := resolveBudget(j)
+	if err != nil {
+		return err
 	}
 
 	// Progress goes to stdout, as the standalone validate binary always
@@ -67,7 +78,10 @@ func (e *env) validateJob(j *ValidateJob) error {
 
 	e.printf("\n%-10s %-12s %-12s\n", "stage", "mean error", "worst bench")
 	for _, s := range stages {
-		worst, _ := validate.MaxError(s.Errors)
+		worst, _, err := validate.MaxError(s.Errors)
+		if err != nil {
+			return err
+		}
 		e.printf("%-10s %-12s %s (%.1f%%)\n", s.Name,
 			fmt.Sprintf("%.1f%%", s.MeanError*100), worst.Name, worst.Error*100)
 	}
@@ -79,6 +93,40 @@ func (e *env) validateJob(j *ValidateJob) error {
 	for _, cat := range ubench.Categories {
 		if ce, ok := cats[cat]; ok {
 			e.printf("  %-14s %.1f%%\n", cat, ce*100)
+		}
+	}
+
+	// The statistical accuracy report of the final model, judged against
+	// the resolved budget. Rendered text joins the artifact; the JSON
+	// rides in the Result (and the serve report endpoint) and optionally
+	// persists to the diffable report history directory.
+	var rep report.ValidationReport
+	wantReport := j.Report || j.Gate
+	if wantReport {
+		samples, plaus, err := validate.CollectSamples(final.Config, final.Ms, e.cache, e.par)
+		if err != nil {
+			return err
+		}
+		br, err := report.Build(board.Name, string(final.Config.Kind), final.Name, samples, plaus, budget)
+		if err != nil {
+			return err
+		}
+		rep = report.New(br)
+		e.printf("\n%s", rep.Render())
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		e.report = data
+		if j.ReportDir != "" {
+			if err := os.MkdirAll(j.ReportDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(j.ReportDir, "validate-"+coreName+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			e.printf("\nwrote validation report to %s\n", path)
 		}
 	}
 
@@ -103,5 +151,27 @@ func (e *env) validateJob(j *ValidateJob) error {
 		}
 		e.printf("\nwrote tuned configuration to %s\n", j.OutPath)
 	}
+	// The gate fires last: every artifact (tuned config, report history,
+	// cache snapshot) is already on disk when a violation fails the job,
+	// so CI logs show exactly what missed the budget.
+	if j.Gate {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// resolveBudget picks the job's accuracy budget: inline JSON wins, then
+// a budget file, then the empty (unconstrained) budget.
+func resolveBudget(j *ValidateJob) (report.Budget, error) {
+	switch {
+	case len(j.BudgetJSON) > 0 && j.BudgetPath != "":
+		return report.Budget{}, fmt.Errorf("validate job sets both budget_json and budget_path")
+	case len(j.BudgetJSON) > 0:
+		return report.ParseBudget(j.BudgetJSON)
+	case j.BudgetPath != "":
+		return report.LoadBudget(j.BudgetPath)
+	}
+	return report.Budget{}, nil
 }

@@ -351,6 +351,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /v1/jobs              list job statuses (no results)
 //	GET  /v1/jobs/{id}         one job's status, result included when done
 //	GET  /v1/jobs/{id}/artifact  the raw rendered artifact (text/plain)
+//	GET  /v1/jobs/{id}/report  a validate job's ValidationReport (JSON)
 //	GET  /v1/scenarios         the scenario registry with unit counts
 //	GET  /healthz              liveness + queue/cache statistics
 func (s *Server) Handler() http.Handler {
@@ -359,6 +360,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/cache/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("POST /v1/cache/snapshot", s.handleSnapshotPut)
@@ -464,6 +466,36 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte(result.Artifact))
+}
+
+// handleReport serves a finished validate job's ValidationReport JSON —
+// the typed statistical accuracy artifact (see internal/report). Like
+// the artifact endpoint it answers only for successful jobs, so a
+// partial report can never be mistaken for a complete one; jobs
+// submitted without validate.report carry no report and answer 404.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	st.mu.Lock()
+	status, result := st.status, st.result
+	st.mu.Unlock()
+	if status != "done" || result == nil {
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("job is %s; the report is served for successful jobs only (see GET /v1/jobs/%s)", status, st.id),
+		})
+		return
+	}
+	if len(result.Report) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{
+			Error: "job produced no validation report (submit a validate job with report=true)",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(result.Report)
 }
 
 // ScenarioInfo is one row of GET /v1/scenarios.

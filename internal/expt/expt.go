@@ -350,7 +350,10 @@ func (c *Context) Fig4() (Experiment, error) {
 	sort.Strings(names)
 	t := errTable("Figure 4: A53 micro-benchmark CPI error, untuned vs tuned",
 		names, untuned, tuned, "untuned", "tuned")
-	worstU, _ := validate.MaxError(stages[0].Errors)
+	worstU, _, err := validate.MaxError(stages[0].Errors)
+	if err != nil {
+		return Experiment{}, err
+	}
 	return Experiment{
 		ID:    "fig4",
 		Title: "Micro-benchmark CPI error before and after tuning (Cortex-A53 model)",

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BenchThreshold pins one metric of one committed benchmark result: the
+// BENCH_*.json file recording it, the benchmark name inside its
+// "results" array, the numeric field to read, and the bound. At least
+// one of Min/Max must be set.
+type BenchThreshold struct {
+	File   string  `json:"file"`
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
+// BenchBudget is the bench-regression threshold file: the perf floor a
+// PR must not sink the committed BENCH_*.json numbers below.
+type BenchBudget struct {
+	Thresholds []BenchThreshold `json:"thresholds"`
+}
+
+// LoadBenchBudget reads a bench threshold file (strict JSON).
+func LoadBenchBudget(path string) (BenchBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchBudget{}, err
+	}
+	var b BenchBudget
+	if err := unmarshalStrict(data, &b); err != nil {
+		return BenchBudget{}, fmt.Errorf("report: bench budget %s: %w", path, err)
+	}
+	if len(b.Thresholds) == 0 {
+		return BenchBudget{}, fmt.Errorf("report: bench budget %s declares no thresholds", path)
+	}
+	for i, t := range b.Thresholds {
+		if t.File == "" || t.Bench == "" || t.Metric == "" {
+			return BenchBudget{}, fmt.Errorf("report: bench budget %s: threshold %d needs file, bench and metric", path, i)
+		}
+		if t.Min == 0 && t.Max == 0 {
+			return BenchBudget{}, fmt.Errorf("report: bench budget %s: threshold %d (%s/%s) sets neither min nor max", path, i, t.Bench, t.Metric)
+		}
+	}
+	return b, nil
+}
+
+// benchFile is the committed BENCH_*.json shape the gate understands:
+// anything with a "results" array of named objects with numeric fields.
+type benchFile struct {
+	Results []map[string]any `json:"results"`
+}
+
+// CheckBench verifies every threshold against the BENCH_*.json files
+// under dir and returns one error naming each violation, or nil when
+// all thresholds hold. A missing file, benchmark or metric is a
+// violation too — a silently dropped benchmark must not pass the gate.
+func CheckBench(dir string, b BenchBudget) error {
+	files := map[string]benchFile{}
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	for _, t := range b.Thresholds {
+		bf, ok := files[t.File]
+		if !ok {
+			data, err := os.ReadFile(filepath.Join(dir, t.File))
+			if err != nil {
+				fail("%s: %v", t.File, err)
+				files[t.File] = benchFile{}
+				continue
+			}
+			if err := json.Unmarshal(data, &bf); err != nil {
+				fail("%s: %v", t.File, err)
+				files[t.File] = benchFile{}
+				continue
+			}
+			files[t.File] = bf
+		}
+		var result map[string]any
+		for _, r := range bf.Results {
+			if name, _ := r["name"].(string); name == t.Bench {
+				result = r
+				break
+			}
+		}
+		if result == nil {
+			fail("%s: benchmark %q not found", t.File, t.Bench)
+			continue
+		}
+		v, ok := result[t.Metric].(float64)
+		if !ok {
+			fail("%s: %s has no numeric metric %q", t.File, t.Bench, t.Metric)
+			continue
+		}
+		if t.Min != 0 && v < t.Min {
+			fail("%s: %s %s = %v regressed below threshold %v", t.File, t.Bench, t.Metric, v, t.Min)
+		}
+		if t.Max != 0 && v > t.Max {
+			fail("%s: %s %s = %v exceeds threshold %v", t.File, t.Bench, t.Metric, v, t.Max)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("report: bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenchDir lays out a fake committed BENCH file in a temp dir.
+func writeBenchDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	data := `{"results": [
+		{"name": "replay_sorted", "mb_per_s": 16.4, "wall_s": 1.2},
+		{"name": "replay_shuffled", "mb_per_s": 12.0, "note": "text"}
+	]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_replay.json"), []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckBenchWithinBudget(t *testing.T) {
+	dir := writeBenchDir(t)
+	b := BenchBudget{Thresholds: []BenchThreshold{
+		{File: "BENCH_replay.json", Bench: "replay_sorted", Metric: "mb_per_s", Min: 14},
+		{File: "BENCH_replay.json", Bench: "replay_sorted", Metric: "wall_s", Max: 2},
+		{File: "BENCH_replay.json", Bench: "replay_shuffled", Metric: "mb_per_s", Min: 10, Max: 20},
+	}}
+	if err := CheckBench(dir, b); err != nil {
+		t.Errorf("all thresholds hold, got %v", err)
+	}
+}
+
+func TestCheckBenchRegressionFails(t *testing.T) {
+	dir := writeBenchDir(t)
+	b := BenchBudget{Thresholds: []BenchThreshold{
+		{File: "BENCH_replay.json", Bench: "replay_sorted", Metric: "mb_per_s", Min: 20},
+		{File: "BENCH_replay.json", Bench: "replay_sorted", Metric: "wall_s", Max: 1},
+	}}
+	err := CheckBench(dir, b)
+	if err == nil {
+		t.Fatal("regressed metrics must fail the gate")
+	}
+	for _, want := range []string{"regressed below threshold", "exceeds threshold", "mb_per_s", "wall_s"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestCheckBenchMissingDataIsViolation(t *testing.T) {
+	dir := writeBenchDir(t)
+	cases := map[string]BenchThreshold{
+		"missing file":   {File: "BENCH_gone.json", Bench: "x", Metric: "m", Min: 1},
+		"missing bench":  {File: "BENCH_replay.json", Bench: "nope", Metric: "mb_per_s", Min: 1},
+		"missing metric": {File: "BENCH_replay.json", Bench: "replay_sorted", Metric: "nope", Min: 1},
+		"text metric":    {File: "BENCH_replay.json", Bench: "replay_shuffled", Metric: "note", Min: 1},
+	}
+	for name, th := range cases {
+		if err := CheckBench(dir, BenchBudget{Thresholds: []BenchThreshold{th}}); err == nil {
+			t.Errorf("%s: silently dropped data must fail the gate", name)
+		}
+	}
+}
+
+func TestLoadBenchBudgetValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadBenchBudget(write("empty.json", `{"thresholds": []}`)); err == nil {
+		t.Error("a budget with no thresholds gates nothing and must be rejected")
+	}
+	if _, err := LoadBenchBudget(write("nobound.json",
+		`{"thresholds": [{"file": "f", "bench": "b", "metric": "m"}]}`)); err == nil {
+		t.Error("a threshold with neither min nor max must be rejected")
+	}
+	if _, err := LoadBenchBudget(write("typo.json",
+		`{"thresholds": [{"file": "f", "bench": "b", "metric": "m", "minn": 1}]}`)); err == nil {
+		t.Error("unknown threshold fields must be rejected")
+	}
+	b, err := LoadBenchBudget(write("ok.json",
+		`{"thresholds": [{"file": "f", "bench": "b", "metric": "m", "min": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Thresholds) != 1 || b.Thresholds[0].Min != 1 {
+		t.Errorf("parsed budget %+v", b)
+	}
+}

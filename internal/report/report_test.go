@@ -1,0 +1,252 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// suiteSamples is a small hand-checkable dataset: two categories, the
+// model optimistic on memory and pessimistic on execution.
+func suiteSamples() []Sample {
+	return []Sample{
+		{Bench: "MD", Category: "memory", SimCPI: 1.10, HWCPI: 1.00},
+		{Bench: "ML2", Category: "memory", SimCPI: 0.90, HWCPI: 1.00},
+		{Bench: "EI", Category: "execution", SimCPI: 2.00, HWCPI: 2.00},
+		{Bench: "EF", Category: "execution", SimCPI: 3.60, HWCPI: 3.00},
+	}
+}
+
+func TestComputeHandChecked(t *testing.T) {
+	m, err := Compute(suiteSamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 4 {
+		t.Errorf("N = %d, want 4", m.N)
+	}
+	// Errors: +0.1, -0.1, 0, +0.2 -> MAPE 0.1, mean +0.05.
+	if math.Abs(m.MAPE-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", m.MAPE)
+	}
+	if math.Abs(m.MeanError-0.05) > 1e-12 {
+		t.Errorf("mean error = %v, want 0.05", m.MeanError)
+	}
+	// RMSE = sqrt((0.01 + 0.01 + 0 + 0.36) / 4).
+	if want := math.Sqrt(0.38 / 4); math.Abs(m.RMSE-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", m.RMSE, want)
+	}
+	if m.Correlation < 0.9 || m.Correlation > 1 {
+		t.Errorf("correlation = %v, want in (0.9, 1] for near-diagonal data", m.Correlation)
+	}
+	if m.WorstBench != "EF" || math.Abs(m.MaxAbsError-0.2) > 1e-12 {
+		t.Errorf("worst = %s %.3f, want EF 0.200", m.WorstBench, m.MaxAbsError)
+	}
+	// The CI must bracket the mean and p must be a probability.
+	if !(m.CILo <= m.MeanError && m.MeanError <= m.CIHi) {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", m.CILo, m.CIHi, m.MeanError)
+	}
+	if m.CILo == m.CIHi {
+		t.Error("CI should widen beyond the mean for n = 4 with nonzero variance")
+	}
+	if m.PValue < 0 || m.PValue > 1 {
+		t.Errorf("p-value = %v outside [0, 1]", m.PValue)
+	}
+}
+
+func TestComputeDegenerateGroupsStayFinite(t *testing.T) {
+	cases := map[string][]Sample{
+		"empty":        nil,
+		"single":       {{Bench: "MD", Category: "memory", SimCPI: 1.2, HWCPI: 1.0}},
+		"zeroVariance": {{Bench: "a", SimCPI: 1, HWCPI: 1}, {Bench: "b", SimCPI: 1, HWCPI: 1}},
+	}
+	for name, samples := range cases {
+		m, err := Compute(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for field, v := range map[string]float64{
+			"correlation": m.Correlation, "rmse": m.RMSE, "mape": m.MAPE,
+			"mean": m.MeanError, "ci_lo": m.CILo, "ci_hi": m.CIHi,
+			"p": m.PValue, "max": m.MaxAbsError,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v, want finite", name, field, v)
+			}
+		}
+		// Every metrics value must marshal (json.Marshal fails on NaN).
+		if _, err := json.Marshal(m); err != nil {
+			t.Errorf("%s: metrics do not marshal: %v", name, err)
+		}
+	}
+}
+
+func TestComputeRejectsNonFiniteCPI(t *testing.T) {
+	cases := []Sample{
+		{Bench: "bad", SimCPI: 1, HWCPI: 0},
+		{Bench: "bad", SimCPI: 1, HWCPI: -2},
+		{Bench: "bad", SimCPI: 1, HWCPI: math.NaN()},
+		{Bench: "bad", SimCPI: math.NaN(), HWCPI: 1},
+		{Bench: "bad", SimCPI: math.Inf(1), HWCPI: 1},
+	}
+	for _, s := range cases {
+		if _, err := Compute([]Sample{s}); err == nil || !strings.Contains(err.Error(), "bad") {
+			t.Errorf("Compute(%+v) err = %v, want error naming the benchmark", s, err)
+		}
+	}
+}
+
+func TestBuildGroupsAndOrdering(t *testing.T) {
+	br, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(), nil, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Pass {
+		t.Error("unconstrained budget must pass")
+	}
+	var names []string
+	for _, g := range br.Groups {
+		names = append(names, g.Name)
+	}
+	want := []string{"suite", "memory", "execution"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("groups %v, want %v (suite first, categories in first-appearance order)", names, want)
+	}
+	if br.Groups[0].N != 4 || br.Groups[1].N != 2 || br.Groups[2].N != 2 {
+		t.Errorf("group sizes %d/%d/%d, want 4/2/2", br.Groups[0].N, br.Groups[1].N, br.Groups[2].N)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build("b", "inorder", "fixed", nil, nil, Budget{}); err == nil {
+		t.Error("empty sample set must error, not produce an all-zero report")
+	}
+}
+
+// TestOutOfToleranceBudgetFailsGate is the acceptance scenario: inject a
+// budget the data cannot meet and confirm the gate (report.Err) fails
+// with violations naming each broken bound — the exact failure mode the
+// CI accuracy-gate job exists to produce.
+func TestOutOfToleranceBudgetFailsGate(t *testing.T) {
+	budget := Budget{Boards: map[string]BoardBudget{
+		"firefly-a53": {
+			Suite:      Tolerance{MinCorrelation: 0.99999, MaxMAPE: 0.0001},
+			Categories: map[string]Tolerance{"memory": {MaxBenchError: 0.0001}},
+		},
+	}}
+	br, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(), nil, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Pass {
+		t.Fatal("out-of-tolerance budget must fail the board")
+	}
+	rep := New(br)
+	if rep.Pass {
+		t.Fatal("failing board must fail the report")
+	}
+	gateErr := rep.Err()
+	if gateErr == nil {
+		t.Fatal("Err() = nil for a failing report; the CI gate would pass")
+	}
+	for _, want := range []string{"correlation", "MAPE", "worst bench", "firefly-a53/suite", "firefly-a53/memory"} {
+		if !strings.Contains(gateErr.Error(), want) {
+			t.Errorf("gate error missing %q:\n%v", want, gateErr)
+		}
+	}
+	if !strings.Contains(rep.Render(), "accuracy budget: FAIL") {
+		t.Errorf("rendered report missing FAIL footer:\n%s", rep.Render())
+	}
+}
+
+func TestBudgetOnlyGatesNamedBoards(t *testing.T) {
+	budget := Budget{Boards: map[string]BoardBudget{
+		"some-other-board": {Suite: Tolerance{MaxMAPE: 1e-9}},
+	}}
+	br, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(), nil, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Pass {
+		t.Error("a board absent from the budget must pass unconditionally")
+	}
+}
+
+func TestPlausibilityViolationsFailBoard(t *testing.T) {
+	br, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(),
+		[]string{"ipc<=width: IPC 4.2 exceeds issue width 2"}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Pass {
+		t.Error("plausibility violation must fail the board even with no budget")
+	}
+	rep := New(br)
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "plausibility") {
+		t.Errorf("gate error must carry the plausibility violation: %v", err)
+	}
+}
+
+func TestNewSortsBoardsByName(t *testing.T) {
+	a72, err := Build("firefly-a72", "ooo", "fixed", suiteSamples(), nil, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a53, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(), nil, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := New(a72, a53)
+	if rep.Boards[0].Board != "firefly-a53" || rep.Boards[1].Board != "firefly-a72" {
+		t.Errorf("boards not name-sorted: %s, %s", rep.Boards[0].Board, rep.Boards[1].Board)
+	}
+	if rep.Version != Version {
+		t.Errorf("version %d, want %d", rep.Version, Version)
+	}
+}
+
+func TestParseBudgetRejectsUnknownFields(t *testing.T) {
+	_, err := ParseBudget([]byte(`{"boards": {"b": {"suite": {"max_mapee": 0.1}}}}`))
+	if err == nil {
+		t.Error("typoed tolerance field must fail loudly, not silently not gate")
+	}
+	b, err := ParseBudget([]byte(`{"boards": {"b": {"suite": {"max_mape": 0.1}}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Boards["b"].Suite.MaxMAPE != 0.1 {
+		t.Errorf("parsed MaxMAPE = %v, want 0.1", b.Boards["b"].Suite.MaxMAPE)
+	}
+}
+
+func TestMarshalIndentDeterministic(t *testing.T) {
+	br, err := Build("firefly-a53", "inorder", "fixed", suiteSamples(), nil, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := New(br)
+	first, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := rep.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatal("MarshalIndent bytes differ between calls")
+		}
+	}
+	if first[len(first)-1] != '\n' {
+		t.Error("report JSON missing trailing newline")
+	}
+	var round ValidationReport
+	if err := json.Unmarshal(first, &round); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if round.Boards[0].Board != "firefly-a53" {
+		t.Errorf("round-tripped board %q", round.Boards[0].Board)
+	}
+}

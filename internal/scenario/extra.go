@@ -105,15 +105,22 @@ func budgetSweepUnits(sp Spec) []Unit {
 				t.AddRow("evaluations used", fmt.Sprintf("%d", res.Irace.Evaluations))
 				t.AddRow("iterations", fmt.Sprintf("%d", len(res.Irace.Iterations)))
 				t.AddRow("best race cost", fmt.Sprintf("%.4f", res.Irace.BestCost))
-				t.AddRow("mean suite error", expt.Pct(validate.MeanError(res.Errors)))
-				worst, _ := validate.MaxError(res.Errors)
+				mean, err := validate.MeanError(res.Errors)
+				if err != nil {
+					return expt.Experiment{}, err
+				}
+				t.AddRow("mean suite error", expt.Pct(mean))
+				worst, _, err := validate.MaxError(res.Errors)
+				if err != nil {
+					return expt.Experiment{}, err
+				}
 				t.AddRow("worst bench", fmt.Sprintf("%s (%s)", worst.Name, expt.Pct(worst.Error)))
 				return expt.Experiment{
 					ID:    id,
 					Title: title,
 					Paper: "beyond the paper: the paper fixes the budget per round (up to 100k trials)",
 					Measured: fmt.Sprintf("%d/%d evaluations, mean suite error %s",
-						res.Irace.Evaluations, budget, expt.Pct(validate.MeanError(res.Errors))),
+						res.Irace.Evaluations, budget, expt.Pct(mean)),
 					Body: t.Render(),
 				}, nil
 			},
@@ -170,7 +177,14 @@ func noiseSweepUnits(sp Spec) []Unit {
 				id := fmt.Sprintf("%s/noise=%g", sp.Name, level)
 				title := fmt.Sprintf("Noise sweep (%s): ±%.1f%% measurement noise", sp.Core, level*100)
 				t := &expt.Table{Title: title, Headers: []string{"stage", "mean error", ""}}
-				um, tm := validate.MeanError(untuned), validate.MeanError(res.Errors)
+				um, err := validate.MeanError(untuned)
+				if err != nil {
+					return expt.Experiment{}, err
+				}
+				tm, err := validate.MeanError(res.Errors)
+				if err != nil {
+					return expt.Experiment{}, err
+				}
 				maxV := um
 				if tm > maxV {
 					maxV = tm

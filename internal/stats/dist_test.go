@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	if got := NormalCDF(0); got != 0.5 {
+		t.Errorf("NormalCDF(0) = %v, want 0.5", got)
+	}
+	for _, z := range []float64{0.1, 0.5, 1, 1.96, 2.5, 4, 7} {
+		lo, hi := NormalCDF(-z), NormalCDF(z)
+		if s := lo + hi; math.Abs(s-1) > 1e-12 {
+			t.Errorf("NormalCDF(%v) + NormalCDF(-%v) = %v, want 1", z, z, s)
+		}
+		if lo >= 0.5 || hi <= 0.5 {
+			t.Errorf("NormalCDF not ordered around 0: F(-%v)=%v, F(%v)=%v", z, lo, z, hi)
+		}
+	}
+	// Monotone non-decreasing across the useful range.
+	prev := NormalCDF(-8)
+	for z := -8.0; z <= 8; z += 0.25 {
+		if v := NormalCDF(z); v < prev {
+			t.Fatalf("NormalCDF decreasing at z=%v: %v < %v", z, v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestBetaIncBoundsProperty(t *testing.T) {
+	for _, ab := range [][2]float64{{0.5, 0.5}, {1, 1}, {2, 3}, {5, 1}, {10, 10}, {0.5, 8}} {
+		a, b := ab[0], ab[1]
+		if got := BetaInc(a, b, 0); got != 0 {
+			t.Errorf("BetaInc(%v, %v, 0) = %v, want 0", a, b, got)
+		}
+		if got := BetaInc(a, b, 1); got != 1 {
+			t.Errorf("BetaInc(%v, %v, 1) = %v, want 1", a, b, got)
+		}
+		// Reflection identity: I_x(a,b) = 1 - I_{1-x}(b,a).
+		for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+			if d := BetaInc(a, b, x) + BetaInc(b, a, 1-x) - 1; math.Abs(d) > 1e-10 {
+				t.Errorf("I_%v(%v,%v) + I_%v(%v,%v) - 1 = %v", x, a, b, 1-x, b, a, d)
+			}
+		}
+		// Monotone non-decreasing in x.
+		prev := 0.0
+		for x := 0.0; x <= 1.0001; x += 0.05 {
+			if v := BetaInc(a, b, x); v < prev {
+				t.Fatalf("BetaInc(%v, %v, ·) decreasing at x=%v", a, b, x)
+			} else {
+				prev = v
+			}
+		}
+	}
+}
+
+// TestChiSquareSFTableValues pins the survival function to the standard
+// critical-value table: SF(critical value, df) must give back the
+// table's tail probability.
+func TestChiSquareSFTableValues(t *testing.T) {
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{11.070, 5, 0.05},
+		{18.307, 10, 0.05},
+		{23.209, 10, 0.01},
+	}
+	for _, c := range cases {
+		if got := ChiSquareSF(c.x, c.df); math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("ChiSquareSF(%v, %d) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+	if got := ChiSquareSF(0, 3); got != 1 {
+		t.Errorf("ChiSquareSF(0, 3) = %v, want 1", got)
+	}
+	if got := ChiSquareSF(-1, 3); got != 1 {
+		t.Errorf("ChiSquareSF(-1, 3) = %v, want 1", got)
+	}
+}
+
+// TestStudentTSFConvergesToNormal: for large df, the two-sided t-test
+// p-value must match the normal tail 2(1 - Φ(t)).
+func TestStudentTSFConvergesToNormal(t *testing.T) {
+	const df = 10000
+	for _, tv := range []float64{0.5, 1, 1.96, 2.5, 3.5} {
+		got := StudentTSF(tv, df)
+		want := 2 * (1 - NormalCDF(tv))
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("StudentTSF(%v, %d) = %v, normal limit %v", tv, df, got, want)
+		}
+	}
+	// Heavier tails at small df: the t p-value dominates the normal one.
+	if StudentTSF(2, 3) <= 2*(1-NormalCDF(2)) {
+		t.Error("t distribution with df=3 should have heavier tails than the normal")
+	}
+	if got := StudentTSF(2, 0); got != 1 {
+		t.Errorf("StudentTSF with df<=0 = %v, want neutral 1", got)
+	}
+}
+
+func TestTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []int{1, 3, 10, 39, 10000} {
+		for _, p := range []float64{0.6, 0.9, 0.975, 0.995} {
+			q := TQuantile(p, df)
+			if q <= 0 {
+				t.Fatalf("TQuantile(%v, %d) = %v, want > 0", p, df, q)
+			}
+			// StudentTSF is the two-sided tail, so SF(q) = 2(1-p).
+			if got, want := StudentTSF(q, df), 2*(1-p); math.Abs(got-want) > 1e-9 {
+				t.Errorf("StudentTSF(TQuantile(%v, %d)) = %v, want %v", p, df, got, want)
+			}
+			if sym := TQuantile(1-p, df); math.Abs(sym+q) > 1e-9 {
+				t.Errorf("TQuantile(%v, %d) = %v, want -%v (symmetry)", 1-p, df, sym, q)
+			}
+		}
+		if TQuantile(0.5, df) != 0 {
+			t.Errorf("TQuantile(0.5, %d) != 0", df)
+		}
+	}
+	// Known value: t(0.975, 10000) is within a hair of the normal 1.96.
+	if q := TQuantile(0.975, 10000); math.Abs(q-1.96) > 5e-3 {
+		t.Errorf("TQuantile(0.975, 10000) = %v, want ~1.96", q)
+	}
+	// Known heavy-tail value: t(0.975, 1) = 12.706.
+	if q := TQuantile(0.975, 1); math.Abs(q-12.706) > 1e-2 {
+		t.Errorf("TQuantile(0.975, 1) = %v, want 12.706", q)
+	}
+}

@@ -171,6 +171,11 @@ func tQuantile(p float64, df int) float64 {
 	return (lo + hi) / 2
 }
 
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom — the multiplier for mean-error confidence
+// intervals (e.g. TQuantile(0.975, n-1) for a two-sided 95% CI).
+func TQuantile(p float64, df int) float64 { return tQuantile(p, df) }
+
 // PairedT runs a two-sided paired t-test on equal-length samples and
 // returns the t statistic and p-value. Identical samples give p = 1.
 func PairedT(a, b []float64) (tstat, p float64, err error) {

@@ -1,0 +1,55 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"racesim/internal/par"
+	"racesim/internal/plausibility"
+	"racesim/internal/report"
+	"racesim/internal/sim"
+	"racesim/internal/simcache"
+)
+
+// CollectSamples evaluates cfg on every measurement and returns the raw
+// report data: per-benchmark simulated-vs-hardware CPI samples in
+// measurement order, plus any physical-plausibility violations observed
+// on the configuration or the simulated results (one line per
+// violation, "BENCH: invariant: detail", measurement order). The work
+// runs through the optional shared simulation cache over a bounded
+// worker pool; the output is identical for any parallelism.
+func CollectSamples(cfg sim.Config, ms []Measurement, cache *simcache.Cache, parallelism int) ([]report.Sample, []string, error) {
+	var plaus []string
+	for _, v := range plausibility.CheckConfig(cfg) {
+		plaus = append(plaus, "config: "+v.String())
+	}
+	samples := make([]report.Sample, len(ms))
+	perBench := make([][]string, len(ms))
+	err := par.ForEach(len(ms), parallelism, func(i int) error {
+		m := ms[i]
+		res, err := cache.Run(cfg, m.Trace)
+		if err != nil {
+			return err
+		}
+		if !(m.Counters.CPI > 0) || math.IsInf(m.Counters.CPI, 0) {
+			return fmt.Errorf("validate: hardware CPI %v for %s is not positive and finite", m.Counters.CPI, m.Trace.Name)
+		}
+		samples[i] = report.Sample{
+			Bench:    m.Bench.Name,
+			Category: string(m.Bench.Category),
+			SimCPI:   res.CPI(),
+			HWCPI:    m.Counters.CPI,
+		}
+		for _, v := range plausibility.CheckResult(cfg, res) {
+			perBench[i] = append(perBench[i], m.Bench.Name+": "+v.String())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, vs := range perBench {
+		plaus = append(plaus, vs...)
+	}
+	return samples, plaus, nil
+}

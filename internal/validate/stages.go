@@ -47,6 +47,10 @@ type StageResult struct {
 	Config    sim.Config
 	Errors    []BenchError
 	MeanError float64
+	// Ms are the board measurements the stage's errors were evaluated
+	// against (the raw or re-measured suite) — the input a statistical
+	// ValidationReport needs beyond the scalar errors.
+	Ms []Measurement
 }
 
 // PipelineOptions configures the full staged run.
@@ -107,9 +111,13 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	if err != nil {
 		return nil, err
 	}
+	untunedMean, err := MeanError(untunedErrs)
+	if err != nil {
+		return nil, err
+	}
 	stages := []StageResult{{
 		Name: "untuned", Config: public,
-		Errors: untunedErrs, MeanError: MeanError(untunedErrs),
+		Errors: untunedErrs, MeanError: untunedMean, Ms: rawMs,
 	}}
 	o.Log("validate: untuned mean CPI error %.1f%%", stages[0].MeanError*100)
 
@@ -125,9 +133,13 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	if err != nil {
 		return nil, err
 	}
+	round1Mean, err := MeanError(round1.Errors)
+	if err != nil {
+		return nil, err
+	}
 	stages = append(stages, StageResult{
 		Name: "round1", Config: round1.Tuned,
-		Errors: round1.Errors, MeanError: MeanError(round1.Errors),
+		Errors: round1.Errors, MeanError: round1Mean, Ms: rawMs,
 	})
 	o.Log("validate: round-1 tuned mean CPI error %.1f%%", stages[1].MeanError*100)
 
@@ -154,9 +166,13 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	if err != nil {
 		return nil, err
 	}
+	round2Mean, err := MeanError(round2.Errors)
+	if err != nil {
+		return nil, err
+	}
 	stages = append(stages, StageResult{
 		Name: "fixed", Config: round2.Tuned,
-		Errors: round2.Errors, MeanError: MeanError(round2.Errors),
+		Errors: round2.Errors, MeanError: round2Mean, Ms: initMs,
 	})
 	o.Log("validate: final tuned mean CPI error %.1f%%", stages[2].MeanError*100)
 	return stages, nil

@@ -109,30 +109,52 @@ func ErrorsWith(cfg sim.Config, ms []Measurement, cache *simcache.Cache, paralle
 	return out, nil
 }
 
-// MeanError averages the per-benchmark errors.
-func MeanError(es []BenchError) float64 {
+// checkFinite rejects NaN/Inf per-benchmark errors. A non-finite error
+// means a degenerate simulation (or measurement) upstream; averaging
+// over it would silently poison every downstream summary and report, so
+// it surfaces as an explicit error naming the benchmark instead.
+func checkFinite(es []BenchError) error {
+	for _, e := range es {
+		if math.IsNaN(e.Error) || math.IsInf(e.Error, 0) {
+			return fmt.Errorf("validate: non-finite error %v for benchmark %s (%s)", e.Error, e.Name, e.Category)
+		}
+	}
+	return nil
+}
+
+// MeanError averages the per-benchmark errors (0 for an empty slice).
+// Any NaN/Inf entry is an explicit error, never averaged over.
+func MeanError(es []BenchError) (float64, error) {
+	if err := checkFinite(es); err != nil {
+		return 0, err
+	}
 	if len(es) == 0 {
-		return 0
+		return 0, nil
 	}
 	s := 0.0
 	for _, e := range es {
 		s += e.Error
 	}
-	return s / float64(len(es))
+	return s / float64(len(es)), nil
 }
 
-// MaxError returns the worst per-benchmark error.
-func MaxError(es []BenchError) (BenchError, bool) {
-	if len(es) == 0 {
-		return BenchError{}, false
+// MaxError returns the worst per-benchmark error; ok is false for an
+// empty slice. Any NaN/Inf entry is an explicit error — under NaN the
+// maximum is not even well-defined (every comparison is false).
+func MaxError(es []BenchError) (worst BenchError, ok bool, err error) {
+	if err := checkFinite(es); err != nil {
+		return BenchError{}, false, err
 	}
-	worst := es[0]
+	if len(es) == 0 {
+		return BenchError{}, false, nil
+	}
+	worst = es[0]
 	for _, e := range es[1:] {
 		if e.Error > worst.Error {
 			worst = e
 		}
 	}
-	return worst, true
+	return worst, true, nil
 }
 
 // CategoryErrors groups mean error per benchmark category — the step 5

@@ -48,11 +48,17 @@ func TestErrorsAndAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mean := MeanError(es)
+	mean, err := MeanError(es)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mean < 0.10 {
 		t.Errorf("untuned mean error %.1f%% too low to exercise the methodology", mean*100)
 	}
-	worst, ok := MaxError(es)
+	worst, ok, err := MaxError(es)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || worst.Error < mean {
 		t.Errorf("worst error %v below mean %v", worst.Error, mean)
 	}
@@ -95,10 +101,17 @@ func TestTuneReducesError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := MeanError(res.Errors)
-	t.Logf("tune: %.1f%% -> %.1f%% (budget 900)", MeanError(before)*100, after*100)
-	if after >= MeanError(before) {
-		t.Errorf("tuning did not reduce mean error: %.3f -> %.3f", MeanError(before), after)
+	after, err := MeanError(res.Errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeMean, err := MeanError(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tune: %.1f%% -> %.1f%% (budget 900)", beforeMean*100, after*100)
+	if after >= beforeMean {
+		t.Errorf("tuning did not reduce mean error: %.3f -> %.3f", beforeMean, after)
 	}
 }
 
