@@ -16,7 +16,8 @@
 // racesim with flags and no subcommand ("racesim -preset ... -ubench MD")
 // behaves as `racesim run`. Every batch subcommand accepts the shared
 // lifecycle flags -parallelism, -cache, -cpuprofile and -memprofile
-// (serve has its own lifecycle: -workers, -queue-depth, -drain-timeout);
+// (serve has its own lifecycle: -workers, -queue-depth, -drain-timeout,
+// -job-timeout);
 // artifacts go to stdout, progress and cache statistics to stderr
 // (except validate, which historically streams progress on stdout). See
 // docs/cli.md for the full reference, including the serve HTTP API and
@@ -36,7 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"racesim/internal/chaos"
 	"racesim/internal/engine"
+	"racesim/internal/simcache"
 )
 
 func usage() {
@@ -282,17 +285,33 @@ func cmdServe(args []string) error {
 		cache       = fs.String("cache", "", "warm the shared cache from this snapshot at startup; saved on drain")
 		drainWait   = fs.Duration("drain-timeout", 10*time.Minute, "how long SIGTERM waits for running jobs before exiting")
 		announce    = fs.String("announce", "", "write the bound listen address to this file once serving (for -addr :0 spawners)")
+		jobTimeout  = fs.Duration("job-timeout", 0, "server-enforced deadline per job (0 = none; jobs may also carry their own shorter timeout)")
+		chaosSpec   = fs.String("chaos", "", "inject engine-side faults (e.g. seed=7,panic=1,stall=2,poison=1); see docs/robustness.md")
 	)
 	fs.Parse(args)
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
-	srv, err := engine.NewServer(engine.ServerOptions{
+	opts := engine.ServerOptions{
 		Parallelism: *parallelism,
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CachePath:   *cache,
+		JobTimeout:  *jobTimeout,
 		Log:         logf,
-	})
+	}
+	if *chaosSpec != "" {
+		spec, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		inj := chaos.New(spec)
+		opts.FaultHook = inj.JobFault
+		opts.SnapshotHook = func(data []byte) ([]byte, error) {
+			return inj.MutateSnapshot(data, simcache.PoisonSnapshot), nil
+		}
+		logf("serve: chaos armed: %s", spec)
+	}
+	srv, err := engine.NewServer(opts)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"racesim/internal/chaos"
 	"racesim/internal/cluster"
 )
 
@@ -35,8 +36,32 @@ func cmdSweep(args []string) error {
 		parallelism = fs.Int("parallelism", 0, "concurrent simulations per spawned worker (0 = GOMAXPROCS)")
 		out         = fs.String("out", "", "also write the assembled artifact to this file")
 		quiet       = fs.Bool("q", false, "suppress progress output")
+		chaosSpec   = fs.String("chaos", "", "inject network faults between coordinator and workers (e.g. seed=7,drop=0.05,delay=0.1,fail=0.02); see docs/robustness.md")
+		workerChaos = fs.String("worker-chaos", "", "forward a -chaos spec to every -spawn worker (engine-side faults: panic=N,stall=N,poison=N)")
+		journal     = fs.String("journal", "", "journal completed units to this file (fsynced JSONL; enables crash resume)")
+		resumeJnl   = fs.Bool("resume-journal", false, "replay the -journal file before dispatching: only unfinished units re-run")
 	)
 	fs.Parse(args)
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		spec, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		inj = chaos.New(spec)
+	}
+	if *workerChaos != "" {
+		if _, err := chaos.Parse(*workerChaos); err != nil {
+			return fmt.Errorf("-worker-chaos: %w", err)
+		}
+		if *spawn == 0 {
+			return fmt.Errorf("-worker-chaos only applies to -spawn workers (remote workers take `serve -chaos` themselves)")
+		}
+	}
+	if *resumeJnl && *journal == "" {
+		return fmt.Errorf("-resume-journal requires -journal")
+	}
 
 	logf := func(format string, a ...any) {
 		if !*quiet {
@@ -50,7 +75,7 @@ func cmdSweep(args []string) error {
 		}
 	}
 	if *spawn > 0 {
-		spawned, stop, err := spawnWorkers(*spawn, *parallelism, logf)
+		spawned, stop, err := spawnWorkers(*spawn, *parallelism, *workerChaos, logf)
 		if err != nil {
 			return err
 		}
@@ -62,18 +87,24 @@ func cmdSweep(args []string) error {
 	}
 
 	output, rep, err := cluster.Run(context.Background(), cluster.Options{
-		Workers:   urls,
-		Window:    *window,
-		Retries:   *retriesN,
-		CachePath: *cache,
-		Scenario:  *scenarioPat,
-		Scale:     *scale,
-		Events:    *events,
-		Budget1:   *budget1,
-		Budget2:   *budget2,
-		Seed:      *seed,
-		Log:       logf,
+		Workers:       urls,
+		Window:        *window,
+		Retries:       *retriesN,
+		CachePath:     *cache,
+		JournalPath:   *journal,
+		ResumeJournal: *resumeJnl,
+		Transport:     inj.Transport(nil),
+		Scenario:      *scenarioPat,
+		Scale:         *scale,
+		Events:        *events,
+		Budget1:       *budget1,
+		Budget2:       *budget2,
+		Seed:          *seed,
+		Log:           logf,
 	})
+	if inj != nil {
+		logf("sweep: chaos injected: %s", inj.Counts())
+	}
 	if err != nil {
 		return err
 	}
@@ -98,8 +129,10 @@ func cmdSweep(args []string) error {
 // loopback ports — single-machine parallelism beyond one simcache lock
 // domain (each process owns its own shared cache; the coordinator's
 // federation ties them together). The bound address of each worker is
-// discovered through serve's -announce file.
-func spawnWorkers(n, parallelism int, logf func(string, ...any)) (urls []string, stop func(), err error) {
+// discovered through serve's -announce file. A non-empty chaosSpec is
+// forwarded to each worker's `serve -chaos`, arming engine-side faults
+// (job panics, stalls, poisoned cache deltas) inside the workers.
+func spawnWorkers(n, parallelism int, chaosSpec string, logf func(string, ...any)) (urls []string, stop func(), err error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, nil, fmt.Errorf("spawn: locate racesim binary: %w", err)
@@ -132,10 +165,14 @@ func spawnWorkers(n, parallelism int, logf func(string, ...any)) (urls []string,
 	}()
 	for i := 0; i < n; i++ {
 		announce := filepath.Join(dir, fmt.Sprintf("worker-%d.addr", i))
-		cmd := exec.Command(exe, "serve",
+		wargs := []string{"serve",
 			"-addr", "127.0.0.1:0",
 			"-announce", announce,
-			"-parallelism", fmt.Sprint(parallelism))
+			"-parallelism", fmt.Sprint(parallelism)}
+		if chaosSpec != "" {
+			wargs = append(wargs, "-chaos", chaosSpec)
+		}
+		cmd := exec.Command(exe, wargs...)
 		cmd.Stderr = os.Stderr
 		if err = cmd.Start(); err != nil {
 			return nil, nil, fmt.Errorf("spawn worker %d: %w", i, err)

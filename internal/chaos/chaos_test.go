@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	spec, err := Parse("seed=7,drop=0.05,delay=0.1,delaymax=200ms,fail=0.02,truncate=0.03,corrupt=0.04,panic=1,stall=2,stallfor=5s,poison=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 7, Drop: 0.05, Delay: 0.1, DelayMax: 200 * time.Millisecond,
+		Fail: 0.02, Truncate: 0.03, Corrupt: 0.04,
+		PanicJob: 1, StallJob: 2, StallFor: 5 * time.Second, PoisonDelta: 3,
+	}
+	if spec != want {
+		t.Errorf("parsed %+v, want %+v", spec, want)
+	}
+	// String renders back to a spec Parse accepts with identical meaning.
+	again, err := Parse(spec.String())
+	if err != nil {
+		t.Fatalf("String round-trip: %v", err)
+	}
+	if again != spec {
+		t.Errorf("round-trip %+v != %+v", again, spec)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, s := range []string{
+		"",                // empty spec injects nothing: refuse loudly
+		"drop",            // no key=value
+		"bogus=1",         // unknown key: a typo must not pass as chaos
+		"drop=1.5",        // probability outside [0,1]
+		"drop=-0.1",       // negative probability
+		"panic=-1",        // negative count
+		"seed=x",          // unparseable int
+		"delaymax=fast",   // unparseable duration
+		"drop=0.05,zap=1", // unknown key after valid pairs
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+// roundTrip pushes one GET through an injector-wrapped transport against
+// a server answering a fixed JSON body, and classifies the outcome.
+func roundTrip(t *testing.T, inj *Injector, ts *httptest.Server) string {
+	t.Helper()
+	client := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := client.Get(ts.URL + "/payload")
+	if err != nil {
+		return "transport-error"
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("status-%d", resp.StatusCode)
+	}
+	var v struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil || !v.OK {
+		return "bad-body"
+	}
+	return "ok"
+}
+
+func TestTransportScheduleIsDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true,"pad":"` + strings.Repeat("x", 256) + `"}`))
+	}))
+	defer ts.Close()
+
+	spec := Spec{Seed: 42, Drop: 0.2, Fail: 0.2, Truncate: 0.2, Corrupt: 0.2}
+	run := func() ([]string, Counts) {
+		inj := New(spec)
+		var outcomes []string
+		for i := 0; i < 60; i++ {
+			outcomes = append(outcomes, roundTrip(t, inj, ts))
+		}
+		return outcomes, inj.Counts()
+	}
+	a, ca := run()
+	b, cb := run()
+	if ca != cb {
+		t.Errorf("same seed, different counts: %+v vs %+v", ca, cb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("request %d: %s vs %s (seeded schedule must replay)", i, a[i], b[i])
+		}
+	}
+	if ca.total() == 0 {
+		t.Error("60 requests at 4x p=0.2 injected nothing; the injector is inert")
+	}
+	// Every non-ok outcome is a *detected* fault: an error, a 5xx, or a
+	// body that fails decoding — never silently altered payload.
+	var faults int
+	for _, o := range a {
+		if o != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Error("no request-visible faults in 60 draws")
+	}
+}
+
+func TestTransportDropIsIdentifiable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	inj := New(Spec{Drop: 1}) // every request drops
+	client := &http.Client{Transport: inj.Transport(nil)}
+	_, err := client.Get(ts.URL)
+	var de *DropError
+	if err == nil || !errors.As(err, &de) {
+		t.Fatalf("dropped request error = %v, want a *DropError", err)
+	}
+	if inj.Counts().Dropped != 1 {
+		t.Errorf("counts: %+v, want 1 dropped", inj.Counts())
+	}
+}
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var inj *Injector
+	if rt := inj.Transport(nil); rt != http.DefaultTransport {
+		t.Error("nil injector should return the inner transport unchanged")
+	}
+	if err := inj.JobFault(context.Background()); err != nil {
+		t.Errorf("nil JobFault: %v", err)
+	}
+	data := []byte("payload")
+	if got := inj.MutateSnapshot(data, nil); string(got) != "payload" {
+		t.Errorf("nil MutateSnapshot altered data: %q", got)
+	}
+	if c := inj.Counts(); c != (Counts{}) {
+		t.Errorf("nil injector counted faults: %+v", c)
+	}
+}
+
+func TestJobFaultPanicsOnNthJob(t *testing.T) {
+	inj := New(Spec{PanicJob: 2})
+	if err := inj.JobFault(context.Background()); err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("job 2 did not panic")
+			}
+		}()
+		inj.JobFault(context.Background())
+	}()
+	if err := inj.JobFault(context.Background()); err != nil {
+		t.Fatalf("job 3: %v", err)
+	}
+	if c := inj.Counts(); c.Panics != 1 {
+		t.Errorf("counts: %+v, want exactly 1 panic", c)
+	}
+}
+
+func TestJobFaultStallRespectsContext(t *testing.T) {
+	inj := New(Spec{StallJob: 1, StallFor: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.JobFault(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stalled job error = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stall outlived its context")
+	}
+	if c := inj.Counts(); c.Stalls != 1 {
+		t.Errorf("counts: %+v, want 1 stall", c)
+	}
+}
+
+func TestMutateSnapshotPoisonsExactlyNth(t *testing.T) {
+	inj := New(Spec{PoisonDelta: 2})
+	poison := func(data []byte) ([]byte, error) {
+		return append([]byte("BAD:"), data...), nil
+	}
+	if got := inj.MutateSnapshot([]byte("a"), poison); string(got) != "a" {
+		t.Errorf("delta 1 mutated: %q", got)
+	}
+	if got := inj.MutateSnapshot([]byte("b"), poison); string(got) != "BAD:b" {
+		t.Errorf("delta 2 not poisoned: %q", got)
+	}
+	if got := inj.MutateSnapshot([]byte("c"), poison); string(got) != "c" {
+		t.Errorf("delta 3 mutated: %q", got)
+	}
+	if c := inj.Counts(); c.Poisoned != 1 {
+		t.Errorf("counts: %+v, want 1 poisoned", c)
+	}
+	// An unpoisonable snapshot passes through and the counter stays put.
+	inj2 := New(Spec{PoisonDelta: 1})
+	bad := func([]byte) ([]byte, error) { return nil, errors.New("nothing to poison") }
+	if got := inj2.MutateSnapshot([]byte("x"), bad); string(got) != "x" {
+		t.Errorf("unpoisonable snapshot altered: %q", got)
+	}
+	if c := inj2.Counts(); c.Poisoned != 0 {
+		t.Errorf("unpoisonable snapshot counted: %+v", c)
+	}
+}

@@ -21,9 +21,15 @@
 //     the worker's warm in-process cache is reused instead of re-derived;
 //   - failure isolation: a unit that fails on a worker is retried with
 //     exponential backoff on another worker (bounded by Retries); a
-//     worker with DeadAfter consecutive failures is marked dead and
-//     never assigned again. The sweep only fails when a unit exhausts
-//     its attempts or no live workers remain;
+//     worker with DeadAfter consecutive failures is quarantined — a
+//     circuit breaker that stops dispatch while background health
+//     probes (doubling delays, bounded by ProbeLimit) decide between
+//     re-admission on probation and declaring it dead. The sweep only
+//     fails when a unit exhausts its attempts or no live workers remain;
+//   - crash resumability: with JournalPath every completed unit's
+//     artifact is fsynced to a checksummed journal; a coordinator killed
+//     mid-sweep restarts with ResumeJournal and re-dispatches only
+//     unfinished units, assembling byte-identical output;
 //   - cache federation: the coordinator pre-seeds every worker from its
 //     snapshot (CachePath) before the round, collects each worker's
 //     checksummed snapshot delta at drain, merges them last-writer-wins
@@ -33,7 +39,9 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"time"
@@ -54,9 +62,19 @@ type Options struct {
 	// Retries bounds how many times one unit is reassigned after a
 	// failure before the sweep fails (default 3).
 	Retries int
-	// DeadAfter marks a worker dead after this many consecutive unit
-	// failures (default 2).
+	// DeadAfter quarantines a worker after this many consecutive unit
+	// failures (default 2). A quarantined worker receives no units while
+	// a background prober re-checks its /healthz with doubling delays; a
+	// passing probe re-admits it on probation (one more failure
+	// re-quarantines), and a worker exhausting ProbeLimit probes is dead
+	// for the rest of the sweep.
 	DeadAfter int
+	// ProbeLimit bounds health probes per quarantined worker across the
+	// sweep before it is declared dead (default 5).
+	ProbeLimit int
+	// ProbeDelay is the first probe's delay, doubled per subsequent
+	// probe up to a 30s cap (default 1s).
+	ProbeDelay time.Duration
 	// Backoff is the base delay before a failed unit is redispatched,
 	// doubled per attempt (default 500ms).
 	Backoff time.Duration
@@ -66,6 +84,22 @@ type Options struct {
 	// pre-seeded to every worker before the round, worker deltas merged
 	// and saved back after it.
 	CachePath string
+	// JournalPath, when set, journals every completed unit's artifact to
+	// a checksummed JSONL file, fsynced per record. A coordinator killed
+	// mid-sweep and restarted with ResumeJournal replays the journal and
+	// re-dispatches only unfinished units; the assembled artifact is
+	// byte-identical to an uninterrupted run.
+	JournalPath string
+	// ResumeJournal replays an existing journal at JournalPath before
+	// dispatching. A journal written by a different sweep (selection,
+	// sizing or unit list changed) is an explicit error.
+	ResumeJournal bool
+	// RequestTimeout bounds each worker HTTP request (default: the
+	// engine.Client default, 60s).
+	RequestTimeout time.Duration
+	// Transport, when non-nil, wraps every worker client's HTTP
+	// transport — the chaos injector's network attach point.
+	Transport http.RoundTripper
 
 	// Scenario is the selection (comma-separated names/globs, "all" =
 	// paper set) — the same selector `racesim experiments -scenario`
@@ -92,6 +126,12 @@ type Report struct {
 	Reassigned int
 	// Dead lists workers marked dead during the round.
 	Dead []string
+	// Quarantined lists workers that entered quarantine at least once
+	// (including those later re-admitted by a passing probe).
+	Quarantined []string
+	// Resumed counts units replayed from the journal instead of
+	// dispatched.
+	Resumed int
 	// Cache aggregates the per-worker shared-cache statistics deltas
 	// across the round — the cluster-wide hit/miss picture.
 	Cache simcache.Stats
@@ -104,15 +144,17 @@ type Report struct {
 
 // workerState is the coordinator's view of one serve worker.
 type workerState struct {
-	url        string
-	client     *engine.Client
-	inflight   int
-	artifacts  map[string]bool // dependency artifacts dispatched here
-	dead       bool
-	failStreak int
-	completed  int
-	before     engine.Health
-	sampled    bool
+	url         string
+	client      *engine.Client
+	inflight    int
+	artifacts   map[string]bool // dependency artifacts dispatched here
+	dead        bool
+	quarantined bool // circuit open: no dispatch until a probe passes
+	probes      int  // health probes spent across the sweep
+	failStreak  int
+	completed   int
+	before      engine.Health
+	sampled     bool
 }
 
 // unitState tracks one unit through dispatch and retries.
@@ -126,6 +168,8 @@ const (
 	evDone = iota
 	evFail
 	evRequeue
+	evProbeOK   // a quarantined worker answered a health probe
+	evProbeDead // a quarantined worker exhausted its probe budget
 )
 
 type event struct {
@@ -156,6 +200,14 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 	deadAfter := opts.DeadAfter
 	if deadAfter <= 0 {
 		deadAfter = 2
+	}
+	probeLimit := opts.ProbeLimit
+	if probeLimit <= 0 {
+		probeLimit = 5
+	}
+	probeDelay := opts.ProbeDelay
+	if probeDelay <= 0 {
+		probeDelay = time.Second
 	}
 	backoff := opts.Backoff
 	if backoff <= 0 {
@@ -189,8 +241,23 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 		}
 		w.client = engine.NewClient(w.url)
 		w.client.Log = log
+		w.client.Timeout = opts.RequestTimeout
+		w.client.Transport = opts.Transport
 		workers[i] = w
-		h, err := w.client.Health(ctx)
+		// The startup health check retries a few times: a worker still
+		// binding its listener — or a single chaos-dropped request — should
+		// not cost the sweep a worker for the whole round.
+		var h engine.Health
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if h, err = w.client.Health(ctx); err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				return "", rep, ctx.Err()
+			}
+			time.Sleep(backoff << attempt)
+		}
 		if err != nil {
 			w.dead = true
 			log("sweep: worker %s unreachable at start: %v", w.url, err)
@@ -212,6 +279,11 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 			return "", rep, err
 		}
 		n, rejected, err := fed.LoadChecked(opts.CachePath)
+		var stale *simcache.StaleFormatError
+		if errors.As(err, &stale) {
+			log("sweep: ignoring snapshot %s (format %d); starting cold", stale.Path, stale.Format)
+			n, err = 0, nil
+		}
 		if err != nil {
 			return "", rep, err
 		}
@@ -228,7 +300,21 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				if w.dead {
 					continue
 				}
-				if _, err := w.client.ImportSnapshot(ctx, data); err != nil {
+				// Pre-seeding retries transient failures (a dropped or
+				// corrupted request is the client's error, not the
+				// worker's); only a persistently failing import costs the
+				// worker its seat.
+				var err error
+				for attempt := 0; attempt < 3; attempt++ {
+					if _, err = w.client.ImportSnapshot(ctx, data); err == nil {
+						break
+					}
+					if ctx.Err() != nil {
+						return "", rep, ctx.Err()
+					}
+					time.Sleep(backoff << attempt)
+				}
+				if err != nil {
 					w.dead = true
 					alive--
 					log("sweep: worker %s failed pre-seed: %v", w.url, err)
@@ -247,27 +333,90 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 	}
 
 	ustates := make([]*unitState, len(units))
-	pending := make([]int, len(units))
+	results := make([]string, len(units))
+	completed := 0
+
+	// Crash-resume journal: replay recovered artifacts (they re-proved
+	// their checksums on read), then journal every new completion.
+	var jnl *journal
+	recovered := map[int]string{}
+	if opts.JournalPath != "" {
+		unitIDs := make([]string, len(units))
+		for i, u := range units {
+			unitIDs[i] = u.ID
+		}
+		fp := sweepFingerprint(opts, unitIDs)
+		if opts.ResumeJournal {
+			if recovered, err = readJournal(opts.JournalPath, fp, len(units)); err != nil {
+				return "", rep, err
+			}
+		}
+		if jnl, err = openJournal(opts.JournalPath, fp, unitIDs, recovered); err != nil {
+			return "", rep, err
+		}
+		defer jnl.close()
+		for i, artifact := range recovered {
+			results[i] = artifact
+			completed++
+		}
+		rep.Resumed = len(recovered)
+		if opts.ResumeJournal {
+			log("sweep: journal %s: resumed %d of %d units", opts.JournalPath, rep.Resumed, len(units))
+		}
+	}
+
+	var pending []int
 	for i, u := range units {
 		ustates[i] = &unitState{unit: u, lastWorker: -1}
-		pending[i] = i
+		if _, done := recovered[i]; !done {
+			pending = append(pending, i)
+		}
 	}
-	results := make([]string, len(units))
-	// Buffered past the worst case (one completion or requeue timer per
-	// unit at a time) so goroutines abandoned by an early error return
-	// never block on send.
-	events := make(chan event, 2*len(units)+len(workers))
+	// Buffered past the worst case (one completion, requeue timer or
+	// probe per unit/worker at a time) so goroutines abandoned by an
+	// early error return never block on send.
+	events := make(chan event, 2*len(units)+2*len(workers))
 	outstanding := 0
-	completed := 0
 
 	aliveCount := func() int {
 		n := 0
 		for _, w := range workers {
-			if !w.dead {
+			if !w.dead && !w.quarantined {
 				n++
 			}
 		}
 		return n
+	}
+
+	// sendEvent delivers ev without leaking the sending goroutine if the
+	// run already returned (the deferred cancel fires on every exit path).
+	sendEvent := func(ev event) {
+		select {
+		case events <- ev:
+		case <-ctx.Done():
+		}
+	}
+
+	// probe re-checks a quarantined worker's health off-loop with doubling
+	// delays, charging one probe from the worker's budget per attempt. It
+	// reports exactly one event; the outstanding slot it holds keeps the
+	// main loop alive while every worker is quarantined.
+	probe := func(wi, attempt int) {
+		w := workers[wi]
+		delay := probeDelay << attempt
+		if delay > 30*time.Second {
+			delay = 30 * time.Second
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return
+		}
+		if _, err := w.client.Health(ctx); err != nil {
+			sendEvent(event{kind: evProbeDead, worker: wi, err: err})
+			return
+		}
+		sendEvent(event{kind: evProbeOK, worker: wi})
 	}
 
 	// pickUnit chooses the best pending unit for a worker: the one whose
@@ -310,27 +459,27 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 		}}
 		id, err := w.client.Submit(ctx, job)
 		if err != nil {
-			events <- event{kind: evFail, unitIdx: ui, worker: wi, err: err}
+			sendEvent(event{kind: evFail, unitIdx: ui, worker: wi, err: err})
 			return
 		}
 		st, err := w.client.Wait(ctx, id, opts.Poll)
 		if err != nil {
-			events <- event{kind: evFail, unitIdx: ui, worker: wi, err: err}
+			sendEvent(event{kind: evFail, unitIdx: ui, worker: wi, err: err})
 			return
 		}
 		if st.Status != "done" || st.Result == nil {
-			events <- event{kind: evFail, unitIdx: ui, worker: wi,
-				err: fmt.Errorf("job %s %s: %s", id, st.Status, st.Error)}
+			sendEvent(event{kind: evFail, unitIdx: ui, worker: wi,
+				err: fmt.Errorf("job %s %s: %s", id, st.Status, st.Error)})
 			return
 		}
-		events <- event{kind: evDone, unitIdx: ui, worker: wi, artifact: st.Result.Artifact}
+		sendEvent(event{kind: evDone, unitIdx: ui, worker: wi, artifact: st.Result.Artifact})
 	}
 
 	dispatch := func() {
 		for {
 			progressed := false
 			for wi, w := range workers {
-				if w.dead || w.inflight >= window || len(pending) == 0 {
+				if w.dead || w.quarantined || w.inflight >= window || len(pending) == 0 {
 					continue
 				}
 				pi := pickUnit(wi)
@@ -373,14 +522,39 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 			rep.Completed[w.url]++
 			results[ev.unitIdx] = ev.artifact
 			completed++
+			if jnl != nil {
+				// Journal before anything else can crash us: a unit recorded
+				// here never re-runs on resume, one lost to a crash between
+				// completion and this append merely re-runs.
+				if err := jnl.append(ev.unitIdx, ustates[ev.unitIdx].unit.ID, ev.artifact); err != nil {
+					return "", rep, fmt.Errorf("cluster: journal %s: %w", opts.JournalPath, err)
+				}
+			}
 		case evFail:
 			outstanding--
 			w.inflight--
 			w.failStreak++
-			if !w.dead && w.failStreak >= deadAfter {
-				w.dead = true
-				rep.Dead = append(rep.Dead, w.url)
-				log("sweep: worker %s marked dead after %d consecutive failures", w.url, w.failStreak)
+			if !w.dead && !w.quarantined && w.failStreak >= deadAfter {
+				// Open the circuit: stop feeding the worker, but probe its
+				// health in the background — a worker that merely restarted
+				// (or sat behind a burst of injected faults) re-admits
+				// instead of shrinking the pool for the rest of the sweep.
+				if w.probes >= probeLimit {
+					w.dead = true
+					rep.Dead = append(rep.Dead, w.url)
+					log("sweep: worker %s marked dead after %d consecutive failures (probe budget spent)",
+						w.url, w.failStreak)
+				} else {
+					w.quarantined = true
+					rep.Quarantined = appendOnce(rep.Quarantined, w.url)
+					log("sweep: worker %s quarantined after %d consecutive failures; probing",
+						w.url, w.failStreak)
+					outstanding++ // the prober keeps the loop alive
+					attempt := w.probes
+					w.probes++
+					wi := ev.worker
+					go probe(wi, attempt)
+				}
 			}
 			u := ustates[ev.unitIdx]
 			u.attempts++
@@ -395,10 +569,35 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				u.unit.ID, w.url, u.attempts, retries+1, ev.err, delay)
 			outstanding++ // the requeue timer keeps the loop alive
 			ui := ev.unitIdx
-			time.AfterFunc(delay, func() { events <- event{kind: evRequeue, unitIdx: ui} })
+			time.AfterFunc(delay, func() { sendEvent(event{kind: evRequeue, unitIdx: ui}) })
 		case evRequeue:
 			outstanding--
 			pending = append(pending, ev.unitIdx)
+		case evProbeOK:
+			outstanding--
+			// Probation: one more failure re-quarantines immediately (the
+			// streak restarts one short of the threshold), but a worker
+			// that is actually healthy again rejoins at full capacity.
+			w.quarantined = false
+			w.failStreak = deadAfter - 1
+			log("sweep: worker %s passed its health probe; re-admitted on probation", w.url)
+		case evProbeDead:
+			outstanding--
+			if w.probes >= probeLimit {
+				w.quarantined = false
+				w.dead = true
+				rep.Dead = append(rep.Dead, w.url)
+				log("sweep: worker %s failed its final health probe (%d/%d): %v; marked dead",
+					w.url, w.probes, probeLimit, ev.err)
+			} else {
+				log("sweep: worker %s failed health probe %d/%d: %v; probing again",
+					w.url, w.probes, probeLimit, ev.err)
+				outstanding++
+				attempt := w.probes
+				w.probes++
+				wi := ev.worker
+				go probe(wi, attempt)
+			}
 		}
 		dispatch()
 	}
@@ -444,6 +643,7 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 		log("sweep: cache: saved %d federated entries to %s", rep.MergedEntries, opts.CachePath)
 	}
 	sort.Strings(rep.Dead)
+	sort.Strings(rep.Quarantined)
 	log("sweep: cluster cache: %d hits, %d misses, %d shared in-flight (%.1f%% hit rate)",
 		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Shared, rep.Cache.HitRate()*100)
 
@@ -452,4 +652,14 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 		b.WriteString(r)
 	}
 	return b.String(), rep, nil
+}
+
+// appendOnce appends s to list unless already present (short lists only).
+func appendOnce(list []string, s string) []string {
+	for _, v := range list {
+		if v == s {
+			return list
+		}
+	}
+	return append(list, s)
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"racesim/internal/chaos"
 	"racesim/internal/cluster"
 	"racesim/internal/engine"
 )
@@ -224,5 +226,214 @@ func TestSweepUnitExhaustionSurfacesError(t *testing.T) {
 	_, _, err = cluster.Run(context.Background(), opts)
 	if err == nil || !strings.Contains(err.Error(), "failed") {
 		t.Errorf("exhausted unit did not surface a failure: %v", err)
+	}
+}
+
+// TestSweepJournalCrashResumeByteIdentical is the resume property test:
+// a journaled sweep killed after any number of completed units and
+// restarted with ResumeJournal re-dispatches only the unfinished units
+// and assembles output byte-identical to the uninterrupted run. The
+// "crash" is simulated by truncating the journal to its first k records
+// (plus a torn half-record, the shape a real kill leaves behind).
+func TestSweepJournalCrashResumeByteIdentical(t *testing.T) {
+	_, tsA := startWorker(t)
+	_, tsB := startWorker(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal")
+
+	opts := tinyOptions(tsA.URL, tsB.URL)
+	opts.JournalPath = journal
+	want, rep, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 0 {
+		t.Fatalf("first run resumed %d units from nowhere", rep.Resumed)
+	}
+	full, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(full), "\n"), "\n")
+	header, records := lines[0], lines[1:]
+	if len(records) != rep.Units {
+		t.Fatalf("journal holds %d records, want %d", len(records), rep.Units)
+	}
+
+	for k := 0; k <= len(records); k++ {
+		crashed := header + strings.Join(records[:k], "")
+		if k < len(records) {
+			// The torn tail of the append in flight when the crash hit.
+			crashed += records[k][:len(records[k])/2]
+		}
+		if err := os.WriteFile(journal, []byte(crashed), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ropts := tinyOptions(tsA.URL, tsB.URL)
+		ropts.JournalPath = journal
+		ropts.ResumeJournal = true
+		got, rrep, err := cluster.Run(context.Background(), ropts)
+		if err != nil {
+			t.Fatalf("resume after %d completed units: %v", k, err)
+		}
+		if got != want {
+			t.Errorf("resume after %d units differs from the uninterrupted run:\nresume:\n%s\nfull:\n%s", k, got, want)
+		}
+		if rrep.Resumed != k {
+			t.Errorf("resume after %d units replayed %d", k, rrep.Resumed)
+		}
+		dispatched := 0
+		for _, n := range rrep.Completed {
+			dispatched += n
+		}
+		if dispatched != rep.Units-k {
+			t.Errorf("resume after %d units dispatched %d, want %d", k, dispatched, rep.Units-k)
+		}
+	}
+}
+
+// TestSweepJournalRejectsForeignJournal: resuming against a journal from
+// a different sweep must fail loudly before dispatching anything.
+func TestSweepJournalRejectsForeignJournal(t *testing.T) {
+	_, ts := startWorker(t)
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+
+	opts := tinyOptions(ts.URL)
+	opts.Scenario = "table1"
+	opts.JournalPath = journal
+	if _, _, err := cluster.Run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	// Same journal, different selection: refuse, don't splice artifacts.
+	opts2 := tinyOptions(ts.URL)
+	opts2.Scenario = "table2"
+	opts2.JournalPath = journal
+	opts2.ResumeJournal = true
+	if _, _, err := cluster.Run(context.Background(), opts2); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("foreign journal resume error = %v, want a different-sweep rejection", err)
+	}
+}
+
+// brokenUntilProxy 500s job submissions until `heal` submissions have
+// been refused, then behaves normally — a worker with a transient fault
+// (full disk, OOM churn) that recovers while quarantined. Health checks
+// pass throughout, so the prober re-admits it.
+type brokenUntilProxy struct {
+	inner    http.Handler
+	refusals atomic.Int32
+	heal     int32
+}
+
+func (b *brokenUntilProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		if n := b.refusals.Load(); n < b.heal {
+			b.refusals.Add(1)
+			http.Error(w, "simulated transient fault", http.StatusInternalServerError)
+			return
+		}
+	}
+	b.inner.ServeHTTP(w, r)
+}
+
+func TestSweepQuarantinesAndReadmitsFlakyWorker(t *testing.T) {
+	// The flaky worker is the ONLY worker: finishing the sweep at all
+	// requires the full circuit-breaker cycle — failures open the circuit,
+	// a passing probe re-admits, the healed worker renders everything.
+	srvB, err := engine.NewServer(engine.ServerOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &brokenUntilProxy{inner: srvB.Handler(), heal: 2}
+	tsB := httptest.NewServer(proxy)
+	defer tsB.Close()
+	defer srvB.Drain(context.Background())
+
+	opts := tinyOptions(tsB.URL)
+	opts.DeadAfter = 2
+	opts.ProbeDelay = 20 * time.Millisecond
+	opts.Retries = 6
+	got, rep, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchArtifact(t, tinySelect); got != want {
+		t.Errorf("sweep with a flaky worker differs from single-process run:\nsweep:\n%s\nbatch:\n%s", got, want)
+	}
+	flaky := strings.TrimRight(tsB.URL, "/")
+	var quarantined bool
+	for _, url := range rep.Quarantined {
+		if url == flaky {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Errorf("flaky worker never quarantined: %v", rep.Quarantined)
+	}
+	for _, url := range rep.Dead {
+		if url == flaky {
+			t.Errorf("healed worker declared dead: %v", rep.Dead)
+		}
+	}
+}
+
+func TestSweepQuarantinedWorkerDiesAfterProbeBudget(t *testing.T) {
+	// A worker that goes completely dark (every request fails, probes
+	// included) exhausts its probe budget and is declared dead; the sweep
+	// still completes on the healthy worker.
+	_, tsA := startWorker(t)
+	srvB, err := engine.NewServer(engine.ServerOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &flakyProxy{inner: srvB.Handler()}
+	tsB := httptest.NewServer(proxy)
+	defer tsB.Close()
+	defer srvB.Drain(context.Background())
+
+	opts := tinyOptions(tsA.URL, tsB.URL)
+	opts.DeadAfter = 1
+	opts.ProbeLimit = 2
+	opts.ProbeDelay = 10 * time.Millisecond
+	got, rep, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchArtifact(t, tinySelect); got != want {
+		t.Errorf("sweep output differs after probe-exhausted death")
+	}
+	dark := strings.TrimRight(tsB.URL, "/")
+	var died bool
+	for _, url := range rep.Dead {
+		if url == dark {
+			died = true
+		}
+	}
+	if !died {
+		t.Errorf("dark worker not declared dead: dead=%v quarantined=%v", rep.Dead, rep.Quarantined)
+	}
+}
+
+func TestSweepByteIdenticalUnderChaosTransport(t *testing.T) {
+	// The tentpole property: with seeded network faults between the
+	// coordinator and every worker, the assembled artifact is still
+	// byte-identical to the fault-free run — faults cost retries, never
+	// correctness.
+	_, tsA := startWorker(t)
+	_, tsB := startWorker(t)
+
+	inj := chaos.New(chaos.Spec{Seed: 7, Drop: 0.04, Delay: 0.05, DelayMax: 10 * time.Millisecond, Fail: 0.03, Corrupt: 0.03})
+	opts := tinyOptions(tsA.URL, tsB.URL)
+	opts.Transport = inj.Transport(nil)
+	opts.Retries = 8
+	opts.DeadAfter = 4
+	got, _, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchArtifact(t, tinySelect); got != want {
+		t.Errorf("chaos sweep differs from fault-free run:\nchaos:\n%s\nclean:\n%s", got, want)
+	}
+	if inj.Counts() == (chaos.Counts{}) {
+		t.Error("the chaos run injected nothing; the property was not exercised")
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -22,8 +24,19 @@ import (
 type Client struct {
 	// BaseURL is the worker's root URL, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTP is the underlying client (default http.DefaultClient).
+	// HTTP is the underlying client (overrides Timeout and Transport).
 	HTTP *http.Client
+	// Timeout bounds each individual HTTP request when HTTP is nil
+	// (default 60s; negative disables). A wedged worker then surfaces as
+	// a request error the retry budget absorbs — or, once exhausted,
+	// fails the unit — instead of hanging the caller forever. Polling
+	// loops (Wait) still run as long as their context allows; the bound
+	// is per request, never per job.
+	Timeout time.Duration
+	// Transport is the RoundTripper of the built-in client when HTTP is
+	// nil (default http.DefaultTransport). The chaos injector's
+	// Transport wrapper attaches here.
+	Transport http.RoundTripper
 	// Retries bounds back-pressure resubmissions in Submit and tolerated
 	// consecutive poll failures in Wait (default 4).
 	Retries int
@@ -32,7 +45,18 @@ type Client struct {
 	Backoff time.Duration
 	// Log receives retry/back-pressure notices; nil discards them.
 	Log func(format string, args ...any)
+
+	buildOnce sync.Once
+	built     *http.Client
 }
+
+// ErrUnreachable wraps transport-level failures of Health: the worker
+// did not answer at all (connection refused, timeout, DNS), as opposed
+// to answering that it is draining (a reachable server reports
+// Status "draining" in the Health body with no error). Callers deciding
+// between "worker is gone" and "worker is shutting down cleanly" match
+// with errors.Is.
+var ErrUnreachable = errors.New("engine: worker unreachable")
 
 // NewClient returns a client for a worker base URL with default retry
 // policy.
@@ -44,7 +68,16 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	c.buildOnce.Do(func() {
+		timeout := c.Timeout
+		if timeout == 0 {
+			timeout = 60 * time.Second
+		} else if timeout < 0 {
+			timeout = 0
+		}
+		c.built = &http.Client{Timeout: timeout, Transport: c.Transport}
+	})
+	return c.built
 }
 
 func (c *Client) retries() int {
@@ -153,16 +186,59 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// Health fetches the worker's liveness and cache statistics.
+// Health fetches the worker's liveness and cache statistics. A
+// transport-level failure (nothing answered) is wrapped in
+// ErrUnreachable; a draining server answers normally with Status
+// "draining" — the two are different conditions and callers (the
+// cluster circuit breaker, probe re-admission) treat them differently.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
-	err := c.getJSON(ctx, "/healthz", &h)
-	return h, err
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return h, fmt.Errorf("%w: %s: %v", ErrUnreachable, c.BaseURL, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, apiErrorOf(resp, data)
+	}
+	return h, json.Unmarshal(data, &h)
 }
 
-// Wait polls a job until it reaches done or failed, tolerating up to
-// Retries consecutive poll failures (a worker restarting its network
-// stack should not fail the unit; a worker that is gone should).
+// Cancel asks the worker to cancel a queued or running job (DELETE
+// /v1/jobs/{id}). It returns the server's immediate view: "cancelled"
+// for a job that never started, "cancelling" for one being unwound.
+func (c *Client) Cancel(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", apiErrorOf(resp, data)
+	}
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return "", fmt.Errorf("cancel %s: malformed response %q", id, data)
+	}
+	return out.Status, nil
+}
+
+// Wait polls a job until it reaches a terminal state (done, failed or
+// cancelled), tolerating up to Retries consecutive poll failures (a
+// worker restarting its network stack should not fail the unit; a
+// worker that is gone should).
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 150 * time.Millisecond
@@ -181,7 +257,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		} else {
 			failures = 0
 			switch st.Status {
-			case "done", "failed":
+			case "done", "failed", "cancelled":
 				return st, nil
 			}
 		}

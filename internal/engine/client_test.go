@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -167,4 +168,88 @@ func TestServerSnapshotFederation(t *testing.T) {
 
 	a.Drain(ctx)
 	b.Drain(ctx)
+}
+
+func TestClientHealthDistinguishesUnreachableFromDraining(t *testing.T) {
+	ctx := context.Background()
+	// Nothing listening: a transport-level failure wrapped in
+	// ErrUnreachable.
+	gone := NewClient("http://127.0.0.1:1")
+	gone.Timeout = 500 * time.Millisecond
+	if _, err := gone.Health(ctx); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("dead endpoint Health error = %v, want ErrUnreachable", err)
+	}
+
+	// A draining server answers Health normally with Status "draining" —
+	// reachable, just going away; no error, not ErrUnreachable.
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewClient(ts.URL).Health(ctx)
+	if err != nil {
+		t.Fatalf("draining server Health: %v", err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("draining server reports %q", h.Status)
+	}
+}
+
+func TestClientCancelRoundTrip(t *testing.T) {
+	// Queue a job behind a stalled one, cancel it through the typed
+	// client, and observe Wait return the cancelled terminal state.
+	release := make(chan struct{})
+	var calls atomic.Int32
+	srv, err := NewServer(ServerOptions{
+		FaultHook: func(ctx context.Context) error {
+			if calls.Add(1) == 1 {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+
+	blocker, err := c.Submit(ctx, Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(ctx, Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.Cancel(ctx, queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "cancelled" {
+		t.Errorf("cancel of queued job reported %q, want cancelled", status)
+	}
+	if st, err := c.Wait(ctx, queued, 10*time.Millisecond); err != nil || st.Status != "cancelled" {
+		t.Errorf("Wait on cancelled job: %v / %q", err, st.Status)
+	}
+	// Cancelling an unknown job is an error carrying the server's message.
+	if _, err := c.Cancel(ctx, "job-999999"); err == nil {
+		t.Error("cancel of unknown job succeeded")
+	}
+	close(release)
+	if st, err := c.Wait(ctx, blocker, 10*time.Millisecond); err != nil || st.Status != "done" {
+		t.Errorf("blocker after release: %v / %q", err, st.Status)
+	}
+	srv.Drain(ctx)
 }

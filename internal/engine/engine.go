@@ -19,10 +19,13 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -49,6 +52,12 @@ type Job struct {
 	Validate    *ValidateJob    `json:"validate,omitempty"`
 	Experiments *ExperimentsJob `json:"experiments,omitempty"`
 	Ubench      *UbenchJob      `json:"ubench,omitempty"`
+	// Timeout bounds the job's execution as a Go duration string ("90s").
+	// The serve worker pool enforces it (alongside any server-wide
+	// ServerOptions.JobTimeout; the smaller wins); a job past its deadline
+	// is cancelled and fails with context.DeadlineExceeded. Empty means no
+	// per-job bound.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 // RunJob simulates one or more traces on one configuration — the classic
@@ -180,6 +189,27 @@ type Options struct {
 	// stream to the terminal and discard the Result leave it off, so a
 	// long sweep's artifact is not duplicated in memory.
 	Capture bool
+	// FaultHook, when non-nil, runs at the start of every job inside the
+	// panic-recovery scope. It exists for fault injection (internal/chaos
+	// wires Injector.JobFault here): a hook that panics exercises the
+	// recovery path, one that blocks on the context exercises deadlines
+	// and cancellation, and one that returns an error fails the job. The
+	// engine itself attaches no semantics to it.
+	FaultHook func(ctx context.Context) error
+}
+
+// PanicError wraps a panic recovered from job execution. Jobs run
+// arbitrary simulation code on server worker goroutines; a panic there
+// must fail the one job — with its stack preserved in the job log — not
+// the process. errors.As-able so callers can distinguish "the job
+// panicked" from ordinary failures.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured at the recovery point
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job panicked: %v", e.Value)
 }
 
 // Result is what a job execution produced.
@@ -207,6 +237,7 @@ type Result struct {
 
 // env threads the resolved lifecycle state through a job execution.
 type env struct {
+	ctx    context.Context
 	par    int
 	cache  *simcache.Cache
 	shared bool // cache owned by the caller: skip snapshot load/save
@@ -266,6 +297,15 @@ func (j Job) Check() error {
 			return fmt.Errorf("engine: job kind %q carries a %q spec (want the %q spec or none)", j.Kind, spec.kind, j.Kind)
 		}
 	}
+	if j.Timeout != "" {
+		d, err := time.ParseDuration(j.Timeout)
+		if err != nil {
+			return fmt.Errorf("engine: job timeout: %v", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("engine: job timeout %q is not positive", j.Timeout)
+		}
+	}
 	return nil
 }
 
@@ -317,8 +357,25 @@ func (j Job) CheckServerSafe() error {
 // On error the returned Result still carries whatever output the job
 // produced before failing (it is never nil).
 func Execute(job Job, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), job, opts)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is cancelled (a
+// client DELETEd the job, a server-enforced deadline expired, the sweep
+// was aborted), execution stops at the next unit/stage/iteration boundary
+// and the job fails with ctx.Err(). Long-running simulation loops check
+// the context between units — cancellation latency is bounded by one
+// simulation batch, not the whole job. A panic anywhere inside job
+// execution is recovered into a *PanicError instead of crashing the
+// caller's goroutine; the Result still carries everything the job wrote
+// before panicking.
+func ExecuteContext(ctx context.Context, job Job, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Kind: job.Kind}
 	e := &env{
+		ctx:    ctx,
 		par:    opts.Parallelism,
 		cache:  opts.Cache,
 		shared: opts.Cache != nil,
@@ -336,7 +393,20 @@ func Execute(job Job, opts Options) (*Result, error) {
 	start := time.Now()
 	err := job.Check()
 	if err == nil {
-		err = prof.Run(opts.CPUProfile, opts.MemProfile, func() error {
+		err = prof.Run(opts.CPUProfile, opts.MemProfile, func() (jobErr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					jobErr = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			if opts.FaultHook != nil {
+				if err := opts.FaultHook(ctx); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			switch job.Kind {
 			case KindRun:
 				return e.runJob(job.Run)
@@ -372,6 +442,14 @@ func (e *env) loadSnapshot(prefix string, logf func(format string, args ...any))
 		return err
 	}
 	n, rejected, err := e.cache.LoadChecked(e.path)
+	var stale *simcache.StaleFormatError
+	if errors.As(err, &stale) {
+		// A pre-migration snapshot starts the run cold, but never
+		// silently: the operator pointed at a warm cache and should learn
+		// why everything re-simulates.
+		e.eprintf("%s: ignoring snapshot %s (format %d); starting cold\n", prefix, stale.Path, stale.Format)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

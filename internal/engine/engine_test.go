@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"racesim/internal/sim"
 	"racesim/internal/simcache"
@@ -215,5 +218,36 @@ func TestValidateJobTunedConfig(t *testing.T) {
 	}
 	if !strings.Contains(res.Artifact, "per-category error of the final model") {
 		t.Errorf("artifact missing the stage report:\n%s", res.Artifact)
+	}
+}
+
+func TestExecuteContextCancelsMidSweep(t *testing.T) {
+	// Cancel shortly after a multi-unit sweep starts: execution must stop
+	// at the next unit/stage boundary with the context's error, well
+	// before the sweep could have finished.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ExecuteContext(ctx, Job{Kind: KindExperiments, Experiments: &ExperimentsJob{
+		Scenario: "table1,table2,fig2", Scale: 0.002, Events: 4000,
+		Budget1: 250, Budget2: 250, Quiet: true,
+	}}, Options{Parallelism: 2, Capture: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled sweep error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v; context is not threaded into the sweep", elapsed)
+	}
+}
+
+func TestExecutePreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExecuteContext(ctx, Job{Kind: KindUbench, Ubench: &UbenchJob{List: true}}, Options{Capture: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled job error = %v, want context.Canceled", err)
+	}
+	if res.Artifact != "" {
+		t.Errorf("pre-cancelled job produced output: %q", res.Artifact)
 	}
 }

@@ -133,6 +133,7 @@ func (e *env) experimentsJob(j *ExperimentsJob) error {
 			Seed:           j.Seed,
 			Parallelism:    e.par,
 			Cache:          e.cache,
+			Context:        e.ctx,
 			Log:            logf,
 		},
 		CachePath:       cachePath,

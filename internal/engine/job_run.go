@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -72,7 +73,7 @@ func (e *env) gather(j *RunJob, events int, scale float64) ([]*trace.Trace, erro
 		return nil, fmt.Errorf("one of ubench, workload or trace is required")
 	}
 	trs := make([]*trace.Trace, len(producers))
-	err := par.ForEach(len(producers), e.par, func(i int) error {
+	err := par.ForEachCtx(e.ctx, len(producers), e.par, func(i int) error {
 		tr, err := producers[i]()
 		if err != nil {
 			return err
@@ -142,14 +143,17 @@ func (e *env) runJob(j *RunJob) error {
 		// (The historical racesim binary loaded unchecked; the quiet
 		// success path is unchanged.)
 		_, rejected, err := e.cache.LoadChecked(e.path)
-		if err != nil {
+		var stale *simcache.StaleFormatError
+		if errors.As(err, &stale) {
+			e.eprintf("racesim: ignoring snapshot %s (format %d); starting cold\n", stale.Path, stale.Format)
+		} else if err != nil {
 			return err
 		}
 		if rejected > 0 {
 			e.eprintf("racesim: %s: rejected %d corrupted cache entries\n", e.path, rejected)
 		}
 	}
-	runner := expt.NewRunner(e.cache, e.par)
+	runner := expt.NewRunner(e.cache, e.par).WithContext(e.ctx)
 	units := make([]expt.Unit, len(trs))
 	for i, tr := range trs {
 		units[i] = expt.Unit{Config: cfg, Trace: tr}

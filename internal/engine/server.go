@@ -38,6 +38,21 @@ type ServerOptions struct {
 	// evicted and answers 404 (default 256). Queued and running jobs are
 	// never evicted.
 	KeepJobs int
+	// JobTimeout is the server-enforced deadline on every job (0: none).
+	// A job also carrying its own Job.Timeout runs under the smaller of
+	// the two. A job past its deadline is cancelled (context threading
+	// stops it within one simulation batch), fails with
+	// context.DeadlineExceeded and releases its worker slot.
+	JobTimeout time.Duration
+	// FaultHook, when non-nil, is passed to every job execution
+	// (Options.FaultHook) — the chaos injector's engine-level attach point.
+	FaultHook func(ctx context.Context) error
+	// SnapshotHook, when non-nil, may rewrite outbound GET
+	// /v1/cache/snapshot bodies — the chaos injector's poisoned-delta
+	// attach point. The checksummed snapshot format means a poisoned body
+	// is rejected entry-by-entry (or wholesale) by the consumer, never
+	// silently merged.
+	SnapshotHook func(data []byte) ([]byte, error)
 	// Log receives server lifecycle lines (startup, drain, job
 	// transitions); nil discards them.
 	Log func(format string, args ...any)
@@ -47,7 +62,7 @@ type ServerOptions struct {
 type JobStatus struct {
 	ID        string    `json:"id"`
 	Kind      string    `json:"kind"`
-	Status    string    `json:"status"` // queued | running | done | failed
+	Status    string    `json:"status"` // queued | running | done | failed | cancelled
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
@@ -74,6 +89,10 @@ type jobState struct {
 	keep      int
 	err       error
 	result    *Result
+	// cancelled is set by DELETE /v1/jobs/{id}; cancel (non-nil while the
+	// job runs) aborts the execution context.
+	cancelled bool
+	cancel    context.CancelFunc
 }
 
 func (st *jobState) snapshot(includeResult bool) JobStatus {
@@ -170,13 +189,18 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			return nil, err
 		}
 		n, rejected, err := s.cache.LoadChecked(opts.CachePath)
-		if err != nil {
+		var stale *simcache.StaleFormatError
+		switch {
+		case errors.As(err, &stale):
+			log("serve: ignoring snapshot %s (format %d); starting cold", stale.Path, stale.Format)
+		case err != nil:
 			return nil, err
+		default:
+			if rejected > 0 {
+				log("serve: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
+			}
+			log("serve: cache: loaded %d entries from %s", n, opts.CachePath)
 		}
-		if rejected > 0 {
-			log("serve: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
-		}
-		log("serve: cache: loaded %d entries from %s", n, opts.CachePath)
 	}
 	s.resetSeedBaseline()
 	for w := 0; w < opts.Workers; w++ {
@@ -196,31 +220,78 @@ func (s *Server) worker() {
 	defer s.wg.Done()
 	for st := range s.queue {
 		st.mu.Lock()
+		if st.cancelled {
+			// Cancelled while still queued (the cancel handler already
+			// marked it terminal); drain the slot without running anything.
+			st.mu.Unlock()
+			s.retire(st.id)
+			s.log("serve: job %s (%s) cancelled before start", st.id, st.job.Kind)
+			continue
+		}
+		timeout := s.effectiveTimeout(st.job)
+		ctx, cancel := context.WithCancel(context.Background())
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), timeout)
+		}
+		st.cancel = cancel
 		st.status = "running"
 		st.started = time.Now()
 		st.mu.Unlock()
 		s.log("serve: job %s (%s) running", st.id, st.job.Kind)
 
-		res, err := Execute(st.job, Options{
+		// ExecuteContext recovers job panics into a *PanicError, so a
+		// panicking simulation fails one job — with its stack preserved
+		// below — instead of killing this worker goroutine (and, once every
+		// worker died, silently wedging the whole queue).
+		res, err := ExecuteContext(ctx, st.job, Options{
 			Parallelism: s.opts.Parallelism,
 			Cache:       s.cache,
 			Stderr:      st,   // live progress ring
 			Capture:     true, // the stored Result is the job's only output
+			FaultHook:   s.opts.FaultHook,
 		})
+		cancel()
 
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// The stack goes through the ring writer (before taking st.mu —
+			// Write locks it too), so GET /v1/jobs/{id} shows where the job
+			// died without the operator grepping server logs.
+			st.Write([]byte(fmt.Sprintf("panic: %v\n%s", pe.Value, pe.Stack)))
+		}
 		st.mu.Lock()
+		st.cancel = nil
 		st.finished = time.Now()
 		st.result = res
 		st.err = err
-		if err != nil {
-			st.status = "failed"
-		} else {
+		switch {
+		case err == nil:
 			st.status = "done"
+		case st.cancelled && errors.Is(err, context.Canceled):
+			st.status = "cancelled"
+		case errors.Is(err, context.DeadlineExceeded):
+			st.status = "failed"
+			st.err = fmt.Errorf("job exceeded its %v deadline: %w", timeout, err)
+		default:
+			st.status = "failed"
 		}
 		st.mu.Unlock()
 		s.retire(st.id)
 		s.log("serve: job %s (%s) %s in %v", st.id, st.job.Kind, st.statusString(), res.Elapsed.Round(time.Millisecond))
 	}
+}
+
+// effectiveTimeout resolves the deadline for one job: the smaller of the
+// server-wide JobTimeout and the job's own Timeout (0 = unbounded). The
+// job's duration string was validated at submit time.
+func (s *Server) effectiveTimeout(job Job) time.Duration {
+	timeout := s.opts.JobTimeout
+	if job.Timeout != "" {
+		if d, err := time.ParseDuration(job.Timeout); err == nil && d > 0 && (timeout == 0 || d < timeout) {
+			timeout = d
+		}
+	}
+	return timeout
 }
 
 // retire records a finished job and evicts the oldest finished jobs
@@ -350,6 +421,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	POST /v1/jobs              submit a Job (JSON body), 202 + {"id": ...}
 //	GET  /v1/jobs              list job statuses (no results)
 //	GET  /v1/jobs/{id}         one job's status, result included when done
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET  /v1/jobs/{id}/artifact  the raw rendered artifact (text/plain)
 //	GET  /v1/jobs/{id}/report  a validate job's ValidationReport (JSON)
 //	GET  /v1/scenarios         the scenario registry with unit counts
@@ -359,6 +431,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -443,6 +516,47 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st.snapshot(true))
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}. A queued job flips to
+// "cancelled" immediately (the worker drains and discards it); a running
+// job has its context cancelled and reports "cancelling" until the
+// execution unwinds to the next cancellation boundary, at which point the
+// worker records "cancelled" and the slot is free. Cancelling a finished
+// job is a conflict, not an idempotent no-op: the caller learns the job
+// already ran to completion.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	st.mu.Lock()
+	status := st.status
+	switch status {
+	case "queued":
+		st.cancelled = true
+		st.status = "cancelled"
+		st.finished = time.Now()
+		st.err = context.Canceled
+		status = "cancelled"
+	case "running":
+		st.cancelled = true
+		if st.cancel != nil {
+			st.cancel()
+		}
+		status = "cancelling"
+	default: // done | failed | cancelled
+		st.mu.Unlock()
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is already %s", status)})
+		return
+	}
+	st.mu.Unlock()
+	s.log("serve: job %s (%s) cancel requested (%s)", st.id, st.job.Kind, status)
+	writeJSON(w, http.StatusAccepted, struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}{ID: st.id, Status: status})
 }
 
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
@@ -614,6 +728,12 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
+	}
+	if s.opts.SnapshotHook != nil {
+		if data, err = s.opts.SnapshotHook(data); err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)

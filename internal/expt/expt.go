@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -33,7 +34,12 @@ type Options struct {
 	// Cache, when non-nil, memoizes simulation results across all
 	// experiments (and across processes via simcache LoadFile/SaveFile).
 	Cache *simcache.Cache
-	Log   func(format string, args ...any)
+	// Context, when non-nil, cancels experiment execution: the Runner
+	// checks it before dispatching each simulation unit and the tuning
+	// pipelines check it per race step, so a cancelled sweep stops within
+	// one simulation batch.
+	Context context.Context
+	Log     func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -80,8 +86,9 @@ func NewContext(opts Options) (*Context, error) {
 	}
 	o := opts.withDefaults()
 	return &Context{
-		opts: o, plat: plat, runner: NewRunner(o.Cache, o.Parallelism),
-		ms: map[*hw.Board][]validate.Measurement{},
+		opts: o, plat: plat,
+		runner: NewRunner(o.Cache, o.Parallelism).WithContext(o.Context),
+		ms:     map[*hw.Board][]validate.Measurement{},
 	}, nil
 }
 
@@ -125,6 +132,7 @@ func (c *Context) StagesA53() ([]validate.StageResult, error) {
 		UbenchScale:  c.opts.UbenchScale,
 		Cache:        c.runner.Cache(),
 		Parallelism:  c.runner.Parallelism(),
+		Context:      c.opts.Context,
 		Log:          c.opts.Log,
 	})
 	if err != nil {
@@ -146,6 +154,7 @@ func (c *Context) StagesA72() ([]validate.StageResult, error) {
 		UbenchScale:  c.opts.UbenchScale,
 		Cache:        c.runner.Cache(),
 		Parallelism:  c.runner.Parallelism(),
+		Context:      c.opts.Context,
 		Log:          c.opts.Log,
 	})
 	if err != nil {
@@ -276,7 +285,8 @@ func (c *Context) Fig2() (Experiment, error) {
 	res, err := validate.Tune(sim.PublicA53(), ms, validate.TuneOptions{
 		Budget: c.opts.BudgetRound1, Seed: c.opts.Seed,
 		Cache: c.runner.Cache(), Parallelism: c.runner.Parallelism(),
-		Log: c.opts.Log,
+		Context: c.opts.Context,
+		Log:     c.opts.Log,
 	})
 	if err != nil {
 		return Experiment{}, err

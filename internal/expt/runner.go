@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -27,6 +28,7 @@ type Unit struct {
 type Runner struct {
 	cache *simcache.Cache
 	par   int
+	ctx   context.Context // nil: never cancelled
 }
 
 // NewRunner builds a runner. cache may be nil (no memoization);
@@ -36,6 +38,18 @@ func NewRunner(cache *simcache.Cache, parallelism int) *Runner {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{cache: cache, par: parallelism}
+}
+
+// WithContext returns a copy of the runner whose pool checks ctx before
+// dispatching each unit, so cancelling ctx stops a batch within one
+// simulation. A nil ctx returns the receiver unchanged.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	if ctx == nil {
+		return r
+	}
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
 }
 
 // Cache exposes the shared result cache (possibly nil).
@@ -51,8 +65,10 @@ func (r *Runner) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
 
 // forEach runs fn(0..n-1) on the worker pool and returns the error of the
 // lowest-indexed failure (deterministic regardless of completion order).
+// Under a context (WithContext) cancellation stops dispatch and reports
+// ctx.Err().
 func (r *Runner) forEach(n int, fn func(i int) error) error {
-	return par.ForEach(n, r.par, fn)
+	return par.ForEachCtx(r.ctx, n, r.par, fn)
 }
 
 // RunAll simulates every unit, in parallel up to the pool width, and

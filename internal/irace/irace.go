@@ -1,6 +1,7 @@
 package irace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,8 +44,21 @@ type Options struct {
 	// candidate is evaluated on every instance of a race. This is the
 	// ablation arm for measuring what statistical elimination buys.
 	DisableElimination bool
+	// Context, when non-nil, cancels the run: the tuner checks it before
+	// each iteration and each instance step of a race, so cancellation
+	// latency is bounded by one batch of Cost calls (one instance across
+	// the alive candidates), not the whole budget.
+	Context context.Context
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+}
+
+// ctxErr is the tuner's cancellation probe (nil Context never cancels).
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +157,9 @@ func (t *Tuner) Run() (*Result, error) {
 
 	var elites []*candidate
 	for j := 1; j <= iterations && t.used < t.opt.Budget; j++ {
+		if err := t.opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		left := t.opt.Budget - t.used
 		// Racing needs at least two candidates seen on FirstTest instances;
 		// with less budget than that left, stop rather than overspend.

@@ -19,6 +19,9 @@ func (t *Tuner) race(iteration int, cands []*candidate) ([]*candidate, error) {
 	order := t.rng.Perm(t.eval.NumInstances())
 
 	for step, inst := range order {
+		if err := t.opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		// Stop once the next instance step no longer fits in the budget.
 		// During the first FirstTest steps affordability is guaranteed by
 		// the candidate trim in Run, so every candidate reaches the first

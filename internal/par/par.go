@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -61,4 +62,29 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForEachCtx is ForEach with cancellation: a cancelled context stops
+// dispatch (in-flight calls still run to completion) and, when no call
+// failed on its own, reports ctx.Err(). A context error never masks a
+// real failure — the lowest-indexed fn error still wins — so callers see
+// the same deterministic error ForEach promises, plus context.Canceled /
+// DeadlineExceeded when cancellation is the only thing that went wrong.
+// A nil ctx behaves like ForEach.
+func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	if ctx == nil {
+		return ForEach(n, parallelism, fn)
+	}
+	err := ForEach(n, parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			// Report as fn's error so fail-fast dispatch stops the pool, but
+			// the sentinel is ctx.Err() itself, so errors.Is matches.
+			return err
+		}
+		return fn(i)
+	})
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
 }

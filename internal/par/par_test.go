@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -63,5 +64,67 @@ func TestForEachStopsDispatchAfterError(t *testing.T) {
 	}
 	if got := started.Load(); got > 100 {
 		t.Errorf("%d of %d units started after a fast failure; dispatch did not stop", got, n)
+	}
+}
+
+func TestForEachCtxNilContextIsPlainForEach(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEachCtx(nil, 10, 4, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10", ran.Load())
+	}
+}
+
+func TestForEachCtxCancellationStopsDispatch(t *testing.T) {
+	// Cancel mid-run: dispatch must stop within the in-flight window and
+	// the context error must surface.
+	const n = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	err := ForEachCtx(ctx, n, 2, func(i int) error {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got > 100 {
+		t.Errorf("%d of %d units started after cancellation", got, n)
+	}
+}
+
+func TestForEachCtxRealErrorWinsOverCancellation(t *testing.T) {
+	// A unit failure that also triggers cancellation (the caller tearing
+	// down) must surface the unit's own error, not the secondary ctx error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 50, 2, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v, want the unit's own error", err)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 100, 4, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 8 {
+		t.Errorf("%d units ran under a pre-cancelled context", got)
 	}
 }

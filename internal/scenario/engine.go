@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/signal"
@@ -120,13 +121,18 @@ func Run(units []Unit, opts RunOptions) ([]UnitResult, error) {
 	}
 	if opts.CachePath != "" {
 		n, rejected, err := eo.Cache.LoadChecked(opts.CachePath)
-		if err != nil {
+		var stale *simcache.StaleFormatError
+		switch {
+		case errors.As(err, &stale):
+			log("scenario: ignoring snapshot %s (format %d); starting cold", stale.Path, stale.Format)
+		case err != nil:
 			return nil, err
+		default:
+			if rejected > 0 {
+				log("scenario: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
+			}
+			log("scenario: cache: loaded %d entries from %s", n, opts.CachePath)
 		}
-		if rejected > 0 {
-			log("scenario: %s: rejected %d corrupted cache entries", opts.CachePath, rejected)
-		}
-		log("scenario: cache: loaded %d entries from %s", n, opts.CachePath)
 	}
 	ctx, err := expt.NewContext(eo)
 	if err != nil {
@@ -193,6 +199,12 @@ func Run(units []Unit, opts RunOptions) ([]UnitResult, error) {
 	}
 	results := make([]UnitResult, 0, len(units))
 	for k, u := range units {
+		// Cancellation boundary: a cancelled sweep stops before the next
+		// unit (and the runner stops its in-flight batch via the same
+		// context), leaving completed units checkpointed as usual.
+		if cctx := opts.Expt.Context; cctx != nil && cctx.Err() != nil {
+			return nil, cctx.Err()
+		}
 		log("scenario: [%d/%d] %s", k+1, len(units), u.ID)
 		start := time.Now()
 		e, err := u.Run(rt)

@@ -4,9 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"racesim/internal/core"
 )
@@ -77,10 +79,27 @@ func (c *Cache) LoadChecked(path string) (accepted int, rejected uint64, err err
 	return n, c.Stats().Rejected - before, nil
 }
 
+// StaleFormatError reports a snapshot written in a different on-disk
+// format generation. Loading one starts cold (the entries are never
+// mis-read), but silently would look identical to "no snapshot": drivers
+// are expected to detect it with errors.As and log that the snapshot was
+// ignored, so an operator pointing a warm run at a pre-migration cache
+// learns why every unit re-simulated.
+type StaleFormatError struct {
+	Path   string // the snapshot file
+	Format int    // the format it declares
+}
+
+func (e *StaleFormatError) Error() string {
+	return fmt.Sprintf("simcache: %s: snapshot format %d (current %d); ignoring it and starting cold",
+		e.Path, e.Format, fileFormat)
+}
+
 // LoadFile merges a snapshot written by SaveFile into the cache. A missing
-// file is not an error (first run is simply cold). Entries failing the
-// checksum are dropped and counted in Stats.Rejected; the number of
-// accepted entries is returned.
+// file is not an error (first run is simply cold); a snapshot in a stale
+// format loads nothing and returns a *StaleFormatError the caller can
+// log or ignore. Entries failing the checksum are dropped and counted in
+// Stats.Rejected; the number of accepted entries is returned.
 func (c *Cache) LoadFile(path string) (int, error) {
 	if c == nil {
 		return 0, nil
@@ -97,7 +116,9 @@ func (c *Cache) LoadFile(path string) (int, error) {
 		return 0, fmt.Errorf("simcache: %s: %w", path, err)
 	}
 	if f.Format != fileFormat {
-		return 0, nil // stale schema: start cold rather than mis-read
+		// Stale schema: never mis-read the entries, but tell the caller
+		// the snapshot was skipped instead of silently starting cold.
+		return 0, &StaleFormatError{Path: path, Format: f.Format}
 	}
 	accepted := 0
 	c.mu.Lock()
@@ -117,7 +138,10 @@ func (c *Cache) LoadFile(path string) (int, error) {
 }
 
 // SaveFile writes every stored result to path as checksummed JSON,
-// atomically (write to a temp file in the same directory, then rename).
+// atomically and durably: the temp file is fsynced before the rename and
+// the parent directory after it, so a machine crash at any point leaves
+// either the previous snapshot or the complete new one — never an empty
+// or truncated file that a rename of unflushed data could persist.
 func (c *Cache) SaveFile(path string) error {
 	if c == nil {
 		return nil
@@ -135,9 +159,34 @@ func (c *Cache) SaveFile(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Some filesystems refuse to fsync directories; that is not a
+// data-loss path (the rename itself is still atomic), so those errors
+// are swallowed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,149 @@
+package simcache
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"racesim/internal/sim"
+)
+
+// seededSnapshot simulates one unit and saves a snapshot, returning its
+// path and the pristine bytes.
+func seededSnapshot(t *testing.T) (string, []byte) {
+	t.Helper()
+	c := New()
+	if _, err := c.Run(sim.PublicA53(), testTrace(t, "MD")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestLoadFileStaleFormatIsTypedCondition(t *testing.T) {
+	path, data := seededSnapshot(t)
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Format = 99
+	rewritten, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	n, err := c.LoadFile(path)
+	var stale *StaleFormatError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale snapshot load error = %v, want a *StaleFormatError", err)
+	}
+	if stale.Path != path || stale.Format != 99 {
+		t.Errorf("stale error carries %q format %d, want %q format 99", stale.Path, stale.Format, path)
+	}
+	if n != 0 || c.Stats().Entries != 0 {
+		t.Errorf("stale snapshot loaded %d entries (%d cached); must start cold", n, c.Stats().Entries)
+	}
+	// LoadChecked surfaces the same typed condition for drivers.
+	if _, _, err := c.LoadChecked(path); !errors.As(err, &stale) {
+		t.Errorf("LoadChecked stale error = %v, want *StaleFormatError", err)
+	}
+}
+
+func TestLoadFileTruncatedSnapshotErrors(t *testing.T) {
+	path, data := seededSnapshot(t)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if _, err := c.LoadFile(path); err == nil {
+		t.Error("truncated snapshot loaded without error")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Errorf("truncation error does not name the file: %v", err)
+	}
+	if c.Stats().Entries != 0 {
+		t.Error("truncated snapshot leaked entries into the cache")
+	}
+}
+
+func TestLoadFileGarbageSnapshotErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("\x00\x01 not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if _, err := c.LoadFile(path); err == nil {
+		t.Error("garbage snapshot loaded without error")
+	}
+}
+
+func TestLoadFileCorruptedEntryRejectedCounted(t *testing.T) {
+	path, data := seededSnapshot(t)
+	poisoned, err := PoisonSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	accepted, rejected, err := c.LoadChecked(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 {
+		t.Errorf("LoadChecked reported %d rejected, want 1", rejected)
+	}
+	if accepted != 0 {
+		t.Errorf("the poisoned entry was accepted (%d)", accepted)
+	}
+}
+
+func TestSaveFileReplacesAtomically(t *testing.T) {
+	// Two saves to the same path leave exactly the newest snapshot and no
+	// temp-file litter (the crash-safety half — fsync before rename — is
+	// not observable in-process, but litter and torn writes are).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	c := New()
+	if _, err := c.Run(sim.PublicA53(), testTrace(t, "MD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(sim.PublicA72(), testTrace(t, "MD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after two saves: %v, want only snap.json", names)
+	}
+	reload := New()
+	if n, err := reload.LoadFile(path); err != nil || n != 2 {
+		t.Errorf("reload: %d entries, err %v; want 2, nil", n, err)
+	}
+}

@@ -114,6 +114,37 @@ func (c *Cache) LoadBytes(data []byte) (added, replaced int, err error) {
 	return added, replaced, nil
 }
 
+// PoisonSnapshot returns a copy of snapshot bytes with one entry's
+// checksum corrupted — a snapshot that parses cleanly but must lose
+// exactly one entry to checksum rejection on load. It exists for the
+// chaos injector and for tests proving that every snapshot consumer
+// (LoadFile, LoadBytes, POST /v1/cache/snapshot) actually verifies
+// checksums; an empty snapshot cannot be poisoned and errors.
+func PoisonSnapshot(data []byte) ([]byte, error) {
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("simcache: poison: %w", err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("simcache: poison: snapshot has no entries")
+	}
+	e := &f.Entries[len(f.Entries)/2]
+	sum := []byte(e.Sum)
+	// Flip one hex digit; the checksum is hex so '0' <-> 'f' always
+	// changes the value.
+	if sum[0] == 'f' {
+		sum[0] = '0'
+	} else {
+		sum[0] = 'f'
+	}
+	e.Sum = string(sum)
+	out, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
 // Merge merges every entry of other into c, last-writer-wins on
 // identical keys. The entries round-trip through the checksummed
 // snapshot format, so the same verification that guards disk and

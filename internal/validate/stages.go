@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"runtime"
 
 	"racesim/internal/hw"
@@ -66,7 +67,18 @@ type PipelineOptions struct {
 	Cache *simcache.Cache
 	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
 	Parallelism int
-	Log         func(format string, args ...any)
+	// Context, when non-nil, cancels the pipeline: checked between stages
+	// and threaded into the tuning rounds (which check per race step).
+	Context context.Context
+	Log     func(format string, args ...any)
+}
+
+// ctxErr is the pipeline's cancellation probe (nil Context never cancels).
+func (o PipelineOptions) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
@@ -122,12 +134,16 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 	o.Log("validate: untuned mean CPI error %.1f%%", stages[0].MeanError*100)
 
 	// Stage 2: first tuning round over the restricted space.
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	round1, err := Tune(public, rawMs, TuneOptions{
 		Budget:        o.BudgetRound1,
 		Seed:          o.Seed,
 		ExcludeParams: union(IndirectParams, PrefetchParams),
 		Cache:         o.Cache,
 		Parallelism:   o.Parallelism,
+		Context:       o.Context,
 		Log:           o.Log,
 	})
 	if err != nil {
@@ -145,6 +161,9 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 
 	// Stage 3: abstraction fixes + re-measured (initialized) suite +
 	// full-space tuning round.
+	if err := o.ctxErr(); err != nil {
+		return nil, err
+	}
 	fixedBase := round1.Tuned
 	fixedBase.DecoderDepBug = false
 	fixedBase, err = SeedLatencies(fixedBase, board)
@@ -161,6 +180,7 @@ func Pipeline(board *hw.Board, public sim.Config, opt PipelineOptions) ([]StageR
 		Weights:     CostWeights{BranchMPKI: 0.2},
 		Cache:       o.Cache,
 		Parallelism: o.Parallelism,
+		Context:     o.Context,
 		Log:         o.Log,
 	})
 	if err != nil {

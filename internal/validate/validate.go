@@ -8,6 +8,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -231,7 +232,9 @@ type TuneOptions struct {
 	Cache *simcache.Cache
 	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
 	Parallelism int
-	Log         func(format string, args ...any)
+	// Context, when non-nil, cancels the tuning round between race steps.
+	Context context.Context
+	Log     func(format string, args ...any)
 }
 
 // TuneResult is the outcome of one tuning round.
@@ -261,6 +264,7 @@ func Tune(base sim.Config, ms []Measurement, opt TuneOptions) (*TuneResult, erro
 		Budget:      opt.Budget,
 		Seed:        opt.Seed,
 		Parallelism: opt.Parallelism,
+		Context:     opt.Context,
 		Log:         opt.Log,
 	})
 	if err != nil {
