@@ -7,6 +7,7 @@ import (
 // btb is a set-associative branch target buffer with LRU replacement.
 type btb struct {
 	sets  int
+	mask  uint64 // sets-1 when sets is a power of two, else 0 (modulo path)
 	assoc int
 	tags  []uint64 // sets*assoc; 0 = invalid
 	tgts  []uint64
@@ -22,6 +23,9 @@ func newBTB(entries, assoc int) *btb {
 		tgts:  make([]uint64, entries),
 		lru:   make([]uint8, entries),
 	}
+	if sets&(sets-1) == 0 {
+		b.mask = uint64(sets - 1)
+	}
 	// Recency ranks must form a permutation per set (0 = MRU) for touch to
 	// age the other ways correctly.
 	for i := range b.lru {
@@ -30,9 +34,15 @@ func newBTB(entries, assoc int) *btb {
 	return b
 }
 
+func (b *btb) set(pc uint64) int {
+	if b.mask != 0 || b.sets == 1 {
+		return int((pc >> 2) & b.mask)
+	}
+	return int((pc >> 2) % uint64(b.sets))
+}
+
 func (b *btb) lookup(pc uint64) (uint64, bool) {
-	set := int((pc >> 2) % uint64(b.sets))
-	base := set * b.assoc
+	base := b.set(pc) * b.assoc
 	for w := 0; w < b.assoc; w++ {
 		if b.tags[base+w] == pc {
 			b.touch(base, w)
@@ -44,6 +54,9 @@ func (b *btb) lookup(pc uint64) (uint64, bool) {
 
 func (b *btb) touch(base, way int) {
 	old := b.lru[base+way]
+	if old == 0 {
+		return // already MRU
+	}
 	for w := 0; w < b.assoc; w++ {
 		if b.lru[base+w] < old {
 			b.lru[base+w]++
@@ -53,8 +66,7 @@ func (b *btb) touch(base, way int) {
 }
 
 func (b *btb) insert(pc, target uint64) {
-	set := int((pc >> 2) % uint64(b.sets))
-	base := set * b.assoc
+	base := b.set(pc) * b.assoc
 	victim := 0
 	for w := 0; w < b.assoc; w++ {
 		if b.tags[base+w] == pc || b.tags[base+w] == 0 {
@@ -173,12 +185,13 @@ type Outcome struct {
 
 // Unit is a complete branch prediction unit.
 type Unit struct {
-	cfg   Config
-	dir   DirectionPredictor
-	btb   *btb
-	ind   *indirect
-	ras   *ras
-	stats Stats
+	cfg       Config
+	dir       DirectionPredictor
+	dirStatic bool // dir is the static predictor (checked per branch otherwise)
+	btb       *btb
+	ind       *indirect
+	ras       *ras
+	stats     Stats
 }
 
 // NewUnit builds a unit from cfg; cfg must be valid.
@@ -192,6 +205,7 @@ func NewUnit(cfg Config) (*Unit, error) {
 		btb: newBTB(cfg.BTBEntries, cfg.BTBAssoc),
 		ras: newRAS(cfg.RASEntries),
 	}
+	_, u.dirStatic = u.dir.(static)
 	if cfg.IndirectEnabled {
 		u.ind = newIndirect(cfg.IndirectEntries, cfg.IndirectHistory)
 	}
@@ -217,7 +231,7 @@ func (u *Unit) AccessOutcome(cls isa.Class, op isa.Op, pc, target uint64, taken 
 		var predTaken bool
 		if op == isa.OpB {
 			predTaken = true // unconditional: direction known at decode
-		} else if _, ok := u.dir.(static); ok {
+		} else if u.dirStatic {
 			predTaken = target <= pc // backward taken, forward not-taken
 		} else {
 			predTaken = u.dir.Predict(pc)

@@ -361,7 +361,9 @@ func TestFetchUsesICache(t *testing.T) {
 }
 
 // Property: any sequence of accesses keeps at most one copy of a block per
-// set and the recency ranks remain a permutation (LRU invariant).
+// set and the recency stamps stay a strict order over the valid ways (LRU
+// invariant: every valid way carries a distinct nonzero stamp no newer
+// than the level's tick, and invalid ways are unstamped).
 func TestLRUPermutationInvariant(t *testing.T) {
 	cfg := l1Config()
 	cfg.SizeKB = 1
@@ -371,23 +373,29 @@ func TestLRUPermutationInvariant(t *testing.T) {
 			l.Access(uint64(i), 0, uint64(a)*8, i%3 == 0)
 		}
 		for set := 0; set < l.sets; set++ {
-			seen := map[uint8]bool{}
+			seen := map[uint64]bool{}
 			for w := 0; w < l.assoc; w++ {
-				r := l.lru[set*l.assoc+w]
-				if r >= uint8(l.assoc) || seen[r] {
+				st := l.lru[set*l.assoc+w]
+				if !l.lines[set*l.assoc+w].valid() {
+					if st != 0 {
+						return false
+					}
+					continue
+				}
+				if st == 0 || st > l.lruTick || seen[st] {
 					return false
 				}
-				seen[r] = true
+				seen[st] = true
 			}
 			// No duplicate tags among valid ways.
 			tags := map[uint64]bool{}
 			for w := 0; w < l.assoc; w++ {
 				ln := l.lines[set*l.assoc+w]
-				if ln.valid {
-					if tags[ln.tag] {
+				if ln.valid() {
+					if tags[ln.tag()] {
 						return false
 					}
-					tags[ln.tag] = true
+					tags[ln.tag()] = true
 				}
 			}
 		}

@@ -60,6 +60,7 @@ func (c HierarchyConfig) Validate() error {
 type tlb struct {
 	pages  []uint64
 	lru    []uint8
+	last   uint64 // most recently accessed page (biased); 0 before first access
 	misses uint64
 	hits   uint64
 }
@@ -74,6 +75,14 @@ func newTLB(entries int) *tlb {
 
 func (t *tlb) access(page uint64) bool {
 	page++ // bias so page 0 is distinguishable from empty slots
+	// Repeat access to the last page: it is resident (every access makes
+	// its page resident) and already MRU, so the scan and the LRU update
+	// are both no-ops.
+	if page == t.last {
+		t.hits++
+		return true
+	}
+	t.last = page
 	for i := range t.pages {
 		if t.pages[i] == page {
 			t.touch(i)
@@ -99,6 +108,9 @@ func (t *tlb) access(page uint64) bool {
 
 func (t *tlb) touch(i int) {
 	old := t.lru[i]
+	if old == 0 {
+		return // already MRU
+	}
 	for j := range t.lru {
 		if t.lru[j] < old {
 			t.lru[j]++

@@ -57,11 +57,42 @@ func (s *Stats) MPKI(instructions uint64) float64 {
 	return float64(s.Misses) / float64(instructions) * 1000
 }
 
-type line struct {
-	tag        uint64 // block address (addr >> lineBits); valid if tagSet
-	valid      bool
-	dirty      bool
-	prefetched bool
+// line packs one cache line into a single word: the block address
+// (addr >> lineBits) in the low 61 bits, valid/dirty/prefetched flags in
+// the top three. Physical block addresses never approach 61 bits, and the
+// packing halves the tag-array footprint — under lane-batched replay a
+// dozen simulated hierarchies compete for the host cache, so tag scans are
+// bandwidth-bound. A hit test is one masked compare (flags stripped, valid
+// required), not separate flag and tag loads.
+type line uint64
+
+const (
+	lineValid      line = 1 << 63
+	lineDirty      line = 1 << 62
+	linePrefetched line = 1 << 61
+	lineFlagMask        = lineDirty | linePrefetched
+	lineTagMask         = linePrefetched - 1
+)
+
+func (ln line) valid() bool      { return ln&lineValid != 0 }
+func (ln line) dirty() bool      { return ln&lineDirty != 0 }
+func (ln line) prefetched() bool { return ln&linePrefetched != 0 }
+func (ln line) tag() uint64      { return uint64(ln & lineTagMask) }
+
+// matches reports a hit for block: valid with the same tag, any flags.
+func (ln line) matches(block uint64) bool {
+	return ln&^lineFlagMask == line(block)|lineValid
+}
+
+func newLine(block uint64, dirty, prefetched bool) line {
+	ln := line(block) | lineValid
+	if dirty {
+		ln |= lineDirty
+	}
+	if prefetched {
+		ln |= linePrefetched
+	}
+	return ln
 }
 
 // Level is one set-associative cache level.
@@ -69,16 +100,30 @@ type Level struct {
 	cfg      Config
 	levelID  int
 	sets     int
+	setMask  uint64 // sets-1 (sets are validated powers of two)
 	assoc    int
 	lineBits uint
+	hitLat   uint64 // HitLatency plus the TagDataSerial extra cycle
+
+	// Last-hit hint: lookup checks lines[lastIdx] first when the block
+	// matches. Self-validating (the line's tag and valid bit are
+	// re-checked), so it never needs invalidation and never changes
+	// results — it only skips the way scan for repeat accesses.
+	lastBlock uint64
+	lastIdx   int32
+	lastSet   int32
+	lastWay   int32
 	lines    []line
-	lru      []uint8 // recency rank per way (0 = MRU)
+	lru      []uint64 // access stamp per way (max = MRU; see touch)
+	lruTick  uint64
+	fill     []uint16 // valid lines per set (monotone: lines never invalidate)
 	plru     []uint32
 	rng      uint64
 
 	victim     []line
 	victimLRU  []uint8
 	pf         prefetch.Prefetcher
+	pfNone     bool // disabled prefetcher: skip training entirely
 	next       Backend
 	stats      Stats
 	portCycle  uint64
@@ -103,18 +148,22 @@ func NewLevel(cfg Config, levelID int, next Backend) (*Level, error) {
 		cfg:      cfg,
 		levelID:  levelID,
 		sets:     cfg.Sets(),
+		setMask:  uint64(cfg.Sets() - 1),
 		assoc:    cfg.Assoc,
+		hitLat:   uint64(cfg.HitLatency),
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		lines:    make([]line, cfg.Sets()*cfg.Assoc),
-		lru:      make([]uint8, cfg.Sets()*cfg.Assoc),
+		lru:      make([]uint64, cfg.Sets()*cfg.Assoc),
+		fill:     make([]uint16, cfg.Sets()),
 		plru:     make([]uint32, cfg.Sets()),
 		rng:      0x9E3779B97F4A7C15,
 		victim:   make([]line, cfg.VictimEntries),
 		pf:       pf,
+		pfNone:   cfg.Prefetch.Kind == prefetch.KindNone,
 		next:     next,
 	}
-	for i := range l.lru {
-		l.lru[i] = uint8(i % cfg.Assoc)
+	if cfg.TagDataSerial {
+		l.hitLat++
 	}
 	if cfg.VictimEntries > 0 {
 		l.victimLRU = make([]uint8, cfg.VictimEntries)
@@ -138,7 +187,7 @@ func (l *Level) index(block uint64) int {
 	switch l.cfg.Hash {
 	case HashXor:
 		b := uint(bits.TrailingZeros(uint(l.sets)))
-		return int((block ^ block>>b ^ block>>(2*b)) % uint64(l.sets))
+		return int((block ^ block>>b ^ block>>(2*b)) & l.setMask)
 	case HashMersenne:
 		m := uint64(l.sets - 1)
 		if m == 0 {
@@ -146,7 +195,7 @@ func (l *Level) index(block uint64) int {
 		}
 		return int(block % m) // one set is sacrificed, as in prime-modulo schemes
 	default:
-		return int(block % uint64(l.sets))
+		return int(block & l.setMask)
 	}
 }
 
@@ -180,22 +229,24 @@ func (l *Level) touch(set, way int) {
 	case ReplRandom:
 		// no state
 	default: // LRU
-		base := set * l.assoc
-		old := l.lru[base+way]
-		for w := 0; w < l.assoc; w++ {
-			if l.lru[base+w] < old {
-				l.lru[base+w]++
-			}
-		}
-		l.lru[base+way] = 0
+		// Timestamp LRU: a per-level tick orders accesses totally, so the
+		// least-recently-used way is the minimum stamp. Replacement
+		// decisions are identical to rank-based LRU (both evict by recency
+		// order) but touching is a single store instead of an aging loop.
+		l.lruTick++
+		l.lru[set*l.assoc+way] = l.lruTick
 	}
 }
 
 func (l *Level) victimWay(set int) int {
 	base := set * l.assoc
-	for w := 0; w < l.assoc; w++ {
-		if !l.lines[base+w].valid {
-			return w
+	// Main-array lines are never invalidated (only victim-buffer entries
+	// are), so sets fill monotonically: once full, skip the invalid scan.
+	if int(l.fill[set]) < l.assoc {
+		for w := 0; w < l.assoc; w++ {
+			if !l.lines[base+w].valid() {
+				return w
+			}
 		}
 	}
 	switch l.cfg.Repl {
@@ -219,7 +270,7 @@ func (l *Level) victimWay(set int) int {
 	default:
 		victim := 0
 		for w := 1; w < l.assoc; w++ {
-			if l.lru[base+w] > l.lru[base+victim] {
+			if l.lru[base+w] < l.lru[base+victim] {
 				victim = w
 			}
 		}
@@ -228,10 +279,15 @@ func (l *Level) victimWay(set int) int {
 }
 
 func (l *Level) lookup(block uint64) (set, way int, ok bool) {
+	if block == l.lastBlock && l.lines[l.lastIdx].matches(block) {
+		return int(l.lastSet), int(l.lastWay), true
+	}
 	set = l.index(block)
 	base := set * l.assoc
 	for w := 0; w < l.assoc; w++ {
-		if l.lines[base+w].valid && l.lines[base+w].tag == block {
+		if l.lines[base+w].matches(block) {
+			l.lastBlock, l.lastIdx = block, int32(base+w)
+			l.lastSet, l.lastWay = int32(set), int32(w)
 			return set, w, true
 		}
 	}
@@ -242,22 +298,22 @@ func (l *Level) lookup(block uint64) (set, way int, ok bool) {
 // returned for reinsertion into the main array.
 func (l *Level) victimLookup(block uint64) (line, bool) {
 	for i := range l.victim {
-		if l.victim[i].valid && l.victim[i].tag == block {
+		if l.victim[i].matches(block) {
 			ln := l.victim[i]
-			l.victim[i].valid = false
+			l.victim[i] &^= lineValid
 			return ln, true
 		}
 	}
-	return line{}, false
+	return 0, false
 }
 
 func (l *Level) victimInsert(ln line) {
-	if len(l.victim) == 0 || !ln.valid {
+	if len(l.victim) == 0 || !ln.valid() {
 		return
 	}
 	oldest := 0
 	for i := range l.victim {
-		if !l.victim[i].valid {
+		if !l.victim[i].valid() {
 			oldest = i
 			break
 		}
@@ -298,31 +354,32 @@ func (l *Level) insert(now uint64, pc uint64, block uint64, dirty, prefetched bo
 	way := l.victimWay(set)
 	base := set * l.assoc
 	old := l.lines[base+way]
-	if old.valid {
+	if old.valid() {
 		l.stats.Evictions++
-		if old.dirty && l.cfg.WriteBack {
+		if old.dirty() && l.cfg.WriteBack {
 			l.stats.Writebacks++
-			l.next.BackAccess(now, pc, old.tag<<l.lineBits, true, true)
+			l.next.BackAccess(now, pc, old.tag()<<l.lineBits, true, true)
 		}
 		l.victimInsert(old)
+	} else {
+		l.fill[set]++
 	}
-	l.lines[base+way] = line{tag: block, valid: true, dirty: dirty, prefetched: prefetched}
+	l.lines[base+way] = newLine(block, dirty, prefetched)
+	l.lastBlock, l.lastIdx = block, int32(base+way)
+	l.lastSet, l.lastWay = int32(set), int32(way)
 	l.touch(set, way)
 }
 
 // Probe reports whether addr would hit in this level (including its victim
-// buffer) without changing any state (no LRU update, no stats).
+// buffer) without changing any observable state (no LRU update, no stats;
+// only the self-validating lookup hint may move).
 func (l *Level) Probe(addr uint64) bool {
 	block := l.block(addr)
-	set := l.index(block)
-	base := set * l.assoc
-	for w := 0; w < l.assoc; w++ {
-		if l.lines[base+w].valid && l.lines[base+w].tag == block {
-			return true
-		}
+	if _, _, ok := l.lookup(block); ok {
+		return true
 	}
 	for i := range l.victim {
-		if l.victim[i].valid && l.victim[i].tag == block {
+		if l.victim[i].matches(block) {
 			return true
 		}
 	}
@@ -347,24 +404,20 @@ func (l *Level) access(now uint64, pc, addr uint64, write, pf bool) AccessResult
 	} else {
 		l.stats.Reads++
 	}
-	lat := uint64(l.cfg.HitLatency)
-	if l.cfg.TagDataSerial {
-		lat++
-	}
-	lat += l.portDelay(now)
+	lat := l.hitLat + l.portDelay(now)
 
 	set, way, hit := l.lookup(block)
 	if hit {
 		l.stats.Hits++
 		base := set * l.assoc
 		ln := &l.lines[base+way]
-		if ln.prefetched {
+		if ln.prefetched() {
 			l.stats.PrefetchUseful++
-			ln.prefetched = false
+			*ln &^= linePrefetched
 		}
 		if write {
 			if l.cfg.WriteBack {
-				ln.dirty = true
+				*ln |= lineDirty
 			} else {
 				l.next.BackAccess(now+lat, pc, addr, true, true) // write-through traffic
 			}
@@ -381,13 +434,14 @@ func (l *Level) access(now uint64, pc, addr uint64, write, pf bool) AccessResult
 		l.stats.Hits++
 		l.stats.VictimHits++
 		lat++ // extra cycle for the side buffer
+		dirty := ln.dirty()
 		if write {
-			ln.dirty = ln.dirty || l.cfg.WriteBack
+			dirty = dirty || l.cfg.WriteBack
 			if !l.cfg.WriteBack {
 				l.next.BackAccess(now+lat, pc, addr, true, true)
 			}
 		}
-		l.insert(now, pc, block, ln.dirty, false)
+		l.insert(now, pc, block, dirty, false)
 		if !pf {
 			l.runPrefetcher(now, pc, block, false)
 		}
@@ -414,7 +468,7 @@ func (l *Level) access(now uint64, pc, addr uint64, write, pf bool) AccessResult
 // runPrefetcher trains the prefetcher on a demand access and issues any
 // requested prefetches into this level.
 func (l *Level) runPrefetcher(now uint64, pc, block uint64, miss bool) {
-	if l.inPrefetch {
+	if l.pfNone || l.inPrefetch {
 		return
 	}
 	targets := l.pf.Observe(pc, block<<l.lineBits, miss)

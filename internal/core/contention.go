@@ -5,58 +5,39 @@ import "racesim/internal/isa"
 // contention tracks functional-unit pipe occupancy. Each class group owns a
 // small array of pipes; an instruction issues on the pipe that frees
 // earliest, at no earlier than its ready cycle, and occupies it for the
-// class's initiation interval.
+// class's initiation interval. The class-to-group mapping is resolved into
+// per-class tables at construction so the hot path indexes instead of
+// switching; classes outside every group (nop) get a nil pipe slice.
+//
+// contention is a value type embedded in per-lane state; its pipe slices
+// are owned by exactly one lane and must not be shared by copying a lane
+// after construction.
 type contention struct {
-	lat LatencyConfig
-
-	intALU []uint64
-	intMul []uint64
-	intDiv []uint64
-	fp     []uint64
-	fpDiv  []uint64
-	load   []uint64
-	store  []uint64
-	branch []uint64
+	pipes [isa.NumClasses][]uint64
+	ii    [isa.NumClasses]uint64
 
 	// stalls counts cycles lost waiting for a structural resource.
 	stalls uint64
 }
 
-func newContention(p PipesConfig, lat LatencyConfig) *contention {
-	return &contention{
-		lat:    lat,
-		intALU: make([]uint64, p.IntALU),
-		intMul: make([]uint64, p.IntMul),
-		intDiv: make([]uint64, p.IntDiv),
-		fp:     make([]uint64, p.FP),
-		fpDiv:  make([]uint64, p.FPDiv),
-		load:   make([]uint64, p.Load),
-		store:  make([]uint64, p.Store),
-		branch: make([]uint64, p.Branch),
+func newContention(p PipesConfig, lat LatencyConfig) contention {
+	var c contention
+	group := func(n int, ii int, classes ...isa.Class) {
+		pipes := make([]uint64, n)
+		for _, cls := range classes {
+			c.pipes[cls] = pipes
+			c.ii[cls] = uint64(ii)
+		}
 	}
-}
-
-func (c *contention) pipesFor(cls isa.Class) ([]uint64, int) {
-	switch cls {
-	case isa.ClassIntAlu:
-		return c.intALU, 1
-	case isa.ClassIntMul:
-		return c.intMul, 1
-	case isa.ClassIntDiv:
-		return c.intDiv, c.lat.IntDivII
-	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPCvt, isa.ClassSIMD:
-		return c.fp, 1
-	case isa.ClassFPDiv:
-		return c.fpDiv, c.lat.FPDivII
-	case isa.ClassLoad:
-		return c.load, 1
-	case isa.ClassStore:
-		return c.store, 1
-	case isa.ClassBranch, isa.ClassBranchInd, isa.ClassCall, isa.ClassRet:
-		return c.branch, 1
-	default:
-		return nil, 1
-	}
+	group(p.IntALU, 1, isa.ClassIntAlu)
+	group(p.IntMul, 1, isa.ClassIntMul)
+	group(p.IntDiv, lat.IntDivII, isa.ClassIntDiv)
+	group(p.FP, 1, isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPCvt, isa.ClassSIMD)
+	group(p.FPDiv, lat.FPDivII, isa.ClassFPDiv)
+	group(p.Load, 1, isa.ClassLoad)
+	group(p.Store, 1, isa.ClassStore)
+	group(p.Branch, 1, isa.ClassBranch, isa.ClassBranchInd, isa.ClassCall, isa.ClassRet)
+	return c
 }
 
 func bestPipe(pipes []uint64) int {
@@ -69,35 +50,21 @@ func bestPipe(pipes []uint64) int {
 	return best
 }
 
-// peek returns the earliest cycle >= ready at which cls could issue,
-// without reserving anything.
-func (c *contention) peek(cls isa.Class, ready uint64) uint64 {
-	pipes, _ := c.pipesFor(cls)
+// issue reserves a pipe for cls no earlier than ready and returns the
+// actual issue cycle. The earliest-free pipe is found and booked in one
+// scan (the in-order slotFor inlines the same logic so its retry loop can
+// interleave with the issue-slot checks).
+func (c *contention) issue(cls isa.Class, ready uint64) uint64 {
+	pipes := c.pipes[cls]
 	if len(pipes) == 0 {
 		return ready
 	}
-	if free := pipes[bestPipe(pipes)]; free > ready {
-		return free
+	bp := bestPipe(pipes)
+	at := ready
+	if free := pipes[bp]; free > ready {
+		c.stalls += free - ready
+		at = free
 	}
-	return ready
-}
-
-// reserve books a pipe for cls at cycle at (callers obtain at via peek).
-func (c *contention) reserve(cls isa.Class, at uint64) {
-	pipes, ii := c.pipesFor(cls)
-	if len(pipes) == 0 {
-		return
-	}
-	pipes[bestPipe(pipes)] = at + uint64(ii)
-}
-
-// issue reserves a pipe for cls no earlier than ready and returns the
-// actual issue cycle.
-func (c *contention) issue(cls isa.Class, ready uint64) uint64 {
-	at := c.peek(cls, ready)
-	if at > ready {
-		c.stalls += at - ready
-	}
-	c.reserve(cls, at)
+	pipes[bp] = at + c.ii[cls]
 	return at
 }

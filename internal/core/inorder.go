@@ -10,16 +10,52 @@ import (
 	"racesim/internal/trace"
 )
 
-// InOrder is the in-order core timing model (Cortex-A53 class): dual-issue
-// with pairing rules, a register scoreboard, blocking-limited hit-under-miss
-// data accesses, a draining store buffer, and a front-end redirected by the
-// branch unit.
-type InOrder struct {
-	cfg  InOrderConfig
-	dc   *decodeCache
+// inOrderStatic is the config-derived state of the in-order model that is
+// never written during replay: issue rules, penalties and the by-class
+// latency table. One value serves any number of replays of its config;
+// lanes of a batch each carry their own (configs differ per lane) while
+// sharing the decoded columns and behavior table.
+type inOrderStatic struct {
+	width       int
+	dualIssueLS bool
+	maxMem      int
+	maxBr       int
+
+	fetchLineBits uint
+	fetchBase     uint64 // L1I hit latency incl. tag/data serialization
+	mispredictPen uint64
+	btbMissPen    uint64
+
+	lat    [isa.NumClasses]uint64
+	depBug bool
+}
+
+func newInOrderStatic(cfg InOrderConfig) inOrderStatic {
+	base := uint64(cfg.Mem.L1I.HitLatency)
+	if cfg.Mem.L1I.TagDataSerial {
+		base++
+	}
+	return inOrderStatic{
+		width:         cfg.Width,
+		dualIssueLS:   cfg.DualIssueLoadStore,
+		maxMem:        cfg.MaxMemPerCycle,
+		maxBr:         cfg.MaxBranchPerCycle,
+		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
+		fetchBase:     base,
+		mispredictPen: uint64(cfg.FrontEnd.MispredictPenalty),
+		btbMissPen:    uint64(cfg.FrontEnd.BTBMissPenalty),
+		lat:           latencyTable(cfg.Lat),
+		depBug:        cfg.DecoderDepBug,
+	}
+}
+
+// inOrderLane is the per-config mutable state of one in-order replay: the
+// scoreboard, pipeline occupancy, cache hierarchy, branch unit and queue
+// rings. A batch holds a dense slice of lanes and steps them in lockstep.
+type inOrderLane struct {
 	hier *cache.Hierarchy
 	bu   *branch.Unit
-	cont *contention
+	cont contention
 
 	regReady [isa.NumRegs]uint64
 	cycle    uint64
@@ -29,7 +65,6 @@ type InOrder struct {
 
 	fetchAvail    uint64
 	lastFetchLine uint64
-	fetchLineBits uint
 
 	mshr   seqRing // outstanding data-cache misses
 	sb     seqRing // store buffer occupancy
@@ -39,21 +74,53 @@ type InOrder struct {
 	res      Result
 }
 
+func newInOrderLane(cfg InOrderConfig) (inOrderLane, error) {
+	hier, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return inOrderLane{}, err
+	}
+	bu, err := branch.NewUnit(cfg.Branch)
+	if err != nil {
+		return inOrderLane{}, err
+	}
+	return inOrderLane{
+		hier:          hier,
+		bu:            bu,
+		cont:          newContention(cfg.Pipes, cfg.Lat),
+		mshr:          newSeqRing(cfg.MSHRs),
+		sb:            newSeqRing(cfg.StoreBufferEntries),
+		lastFetchLine: ^uint64(0),
+	}, nil
+}
+
+// InOrder is the in-order core timing model (Cortex-A53 class): dual-issue
+// with pairing rules, a register scoreboard, blocking-limited hit-under-miss
+// data accesses, a draining store buffer, and a front-end redirected by the
+// branch unit.
+type InOrder struct {
+	st   inOrderStatic
+	lane inOrderLane
+	dc   *decodeCache
+}
+
 // seqRing models a capacity-limited structure whose entries free at known
-// times: entry n cannot be allocated before entry n-cap has freed.
+// times: entry n cannot be allocated before entry n-cap has freed. idx is
+// the next slot and wraps explicitly (capacities are rarely powers of two,
+// so a modulo here would cost a divide per allocation).
 type seqRing struct {
-	done  []uint64
-	count uint64
+	done []uint64
+	idx  int
+	full bool // count of allocations has reached capacity
 }
 
 func newSeqRing(capacity int) seqRing { return seqRing{done: make([]uint64, capacity)} }
 
 // wait returns how long an allocation at cycle t must stall for a slot.
 func (r *seqRing) wait(t uint64) uint64 {
-	if r.count < uint64(len(r.done)) {
+	if !r.full {
 		return 0
 	}
-	if prev := r.done[r.count%uint64(len(r.done))]; prev > t {
+	if prev := r.done[r.idx]; prev > t {
 		return prev - t
 	}
 	return 0
@@ -61,8 +128,12 @@ func (r *seqRing) wait(t uint64) uint64 {
 
 // note records that the next allocated entry frees at done.
 func (r *seqRing) note(done uint64) {
-	r.done[r.count%uint64(len(r.done))] = done
-	r.count++
+	r.done[r.idx] = done
+	r.idx++
+	if r.idx == len(r.done) {
+		r.idx = 0
+		r.full = true
+	}
 }
 
 // NewInOrder builds the model; cfg must be valid.
@@ -70,83 +141,78 @@ func NewInOrder(cfg InOrderConfig) (*InOrder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hier, err := cache.NewHierarchy(cfg.Mem)
-	if err != nil {
-		return nil, err
-	}
-	bu, err := branch.NewUnit(cfg.Branch)
+	lane, err := newInOrderLane(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &InOrder{
-		cfg:           cfg,
-		dc:            newDecodeCache(cfg.DecoderDepBug),
-		hier:          hier,
-		bu:            bu,
-		cont:          newContention(cfg.Pipes, cfg.Lat),
-		mshr:          newSeqRing(cfg.MSHRs),
-		sb:            newSeqRing(cfg.StoreBufferEntries),
-		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
-		lastFetchLine: ^uint64(0),
+		st:   newInOrderStatic(cfg),
+		lane: lane,
+		dc:   newDecodeCache(cfg.DecoderDepBug),
 	}, nil
 }
 
-func (m *InOrder) advanceCycle(to uint64) {
-	if to > m.cycle {
-		m.cycle = to
-		m.issued = 0
-		m.memOps = 0
-		m.branches = 0
+func (ln *inOrderLane) advanceCycle(to uint64) {
+	if to > ln.cycle {
+		ln.cycle = to
+		ln.issued = 0
+		ln.memOps = 0
+		ln.branches = 0
 	}
 }
 
 // slotFor finds the earliest cycle >= t with a free issue slot compatible
 // with the instruction's class, honouring width and pairing rules, and
 // consumes the slot.
-func (m *InOrder) slotFor(cls isa.Class, t uint64) uint64 {
-	isMem := cls.IsMem()
-	isBr := cls.IsBranch()
+func (ln *inOrderLane) slotFor(st *inOrderStatic, b *Behavior, t uint64) uint64 {
+	isMem := b.kind == stepLoad || b.kind == stepStore
+	isBr := b.kind == stepBranch
 	for {
-		m.advanceCycle(t)
+		ln.advanceCycle(t)
 		switch {
-		case m.issued >= m.cfg.Width:
-			t = m.cycle + 1
+		case ln.issued >= st.width:
+			t = ln.cycle + 1
 			continue
-		case isMem && m.memOps >= m.cfg.MaxMemPerCycle:
-			t = m.cycle + 1
+		case isMem && ln.memOps >= st.maxMem:
+			t = ln.cycle + 1
 			continue
-		case isMem && !m.cfg.DualIssueLoadStore && m.issued > 0:
-			t = m.cycle + 1
+		case isMem && !st.dualIssueLS && ln.issued > 0:
+			t = ln.cycle + 1
 			continue
-		case isBr && m.branches >= m.cfg.MaxBranchPerCycle:
-			t = m.cycle + 1
+		case isBr && ln.branches >= st.maxBr:
+			t = ln.cycle + 1
 			continue
 		}
-		// Structural hazard on the functional unit.
-		if at := m.cont.peek(cls, m.cycle); at > m.cycle {
-			m.cont.stalls += at - m.cycle
-			t = at
-			continue
+		// Structural hazard on the functional unit: find the pipe that
+		// frees earliest and, if it is already free, book it in place
+		// (a separate reserve would rescan the same pipe group).
+		if pipes := ln.cont.pipes[b.Cls]; len(pipes) != 0 {
+			bp := bestPipe(pipes)
+			if free := pipes[bp]; free > ln.cycle {
+				ln.cont.stalls += free - ln.cycle
+				t = free
+				continue
+			}
+			pipes[bp] = ln.cycle + ln.cont.ii[b.Cls]
 		}
 		break
 	}
-	m.cont.reserve(cls, m.cycle)
-	m.issued++
+	ln.issued++
 	if isMem {
-		m.memOps++
-		if !m.cfg.DualIssueLoadStore {
-			m.issued = m.cfg.Width // memory op closes the issue group
+		ln.memOps++
+		if !st.dualIssueLS {
+			ln.issued = st.width // memory op closes the issue group
 		}
 	}
 	if isBr {
-		m.branches++
+		ln.branches++
 	}
-	return m.cycle
+	return ln.cycle
 }
 
-func (m *InOrder) retire(at uint64) {
-	if at > m.endCycle {
-		m.endCycle = at
+func (ln *inOrderLane) retire(at uint64) {
+	if at > ln.endCycle {
+		ln.endCycle = at
 	}
 }
 
@@ -157,146 +223,156 @@ func (m *InOrder) Run(src trace.Source) (Result, error) {
 		if !ok {
 			break
 		}
-		in, err := m.dc.decode(ev)
+		b, err := m.dc.decode(ev)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %w", err)
 		}
-		m.step(&in, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
+		m.lane.res.Instructions++
+		m.lane.res.ClassCounts[b.Cls]++
+		m.lane.stepLane(&m.st, b, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
 	}
-	return m.finish(), nil
+	return m.lane.finish(), nil
 }
 
 // RunDecoded implements Model.
 func (m *InOrder) RunDecoded(d *trace.Decoded) (Result, error) {
-	if d.DepBug != m.cfg.DecoderDepBug {
-		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.cfg.DecoderDepBug)
+	return m.RunDecodedBehaviors(d, nil)
+}
+
+// RunDecodedBehaviors is RunDecoded with a pre-compiled behavior table for
+// d.Insts (nil: compiled here). Batch callers pass the memoized table so a
+// single-lane run shares the batch path's compilation work.
+func (m *InOrder) RunDecodedBehaviors(d *trace.Decoded, behav []Behavior) (Result, error) {
+	if d.DepBug != m.st.depBug {
+		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.st.depBug)
 	}
-	insts, pcs, mems, tgts := d.Insts, d.PC, d.MemAddr, d.Target
+	if behav == nil {
+		behav = CompileBehaviors(d.Insts)
+	}
+	pcs, mems, tgts := d.PC, d.MemAddr, d.Target
 	for i, id := range d.IDs {
-		m.step(&insts[id], pcs[i], mems[i], tgts[i], d.Taken(i))
+		m.lane.stepLane(&m.st, &behav[id], pcs[i], mems[i], tgts[i], d.Taken(i))
 	}
 	if d.Err != nil {
 		return Result{}, fmt.Errorf("core: %w", d.Err)
 	}
-	return m.finish(), nil
+	cc := classHistogram(d.IDs, behav)
+	addCounts(&m.lane.res, uint64(len(d.IDs)), &cc)
+	return m.lane.finish(), nil
 }
 
-func (m *InOrder) finish() Result {
-	m.res.Cycles = m.endCycle
-	if m.res.Cycles == 0 && m.res.Instructions > 0 {
-		m.res.Cycles = m.res.Instructions
+func (ln *inOrderLane) finish() Result {
+	ln.res.Cycles = ln.endCycle
+	if ln.res.Cycles == 0 && ln.res.Instructions > 0 {
+		ln.res.Cycles = ln.res.Instructions
 	}
-	m.res.Branch = m.bu.Stats()
-	m.res.Mem = m.hier.Stats()
-	m.res.StallStruct += m.cont.stalls
-	return m.res
+	ln.res.Branch = ln.bu.Stats()
+	ln.res.Mem = ln.hier.Stats()
+	ln.res.StallStruct += ln.cont.stalls
+	return ln.res
 }
 
-// step advances the model by one dynamic instruction: st is the shared
-// static decode (never mutated), the remaining arguments are the event's
-// dynamic fields.
-func (m *InOrder) step(st *isa.Inst, pc, memAddr, target uint64, taken bool) {
-	m.res.Instructions++
-	m.res.ClassCounts[st.Cls]++
-
-	earliest := m.fetchAvail
-	if m.cycle > earliest {
-		earliest = m.cycle
+// stepLane advances one lane by one dynamic instruction: st and b are the
+// lane's config-derived static state and the instruction's shared behavior
+// (both never mutated), the remaining arguments are the event's dynamic
+// fields. It is the single step kernel: sequential replay, the per-event
+// oracle and the batched walk all funnel through it, so their results are
+// identical by construction. Instruction and class counts are NOT updated
+// here — they are lane-invariant over a trace, so callers add them in bulk
+// (see countEvents) instead of paying two read-modify-writes per step.
+func (ln *inOrderLane) stepLane(st *inOrderStatic, b *Behavior, pc, memAddr, target uint64, taken bool) {
+	earliest := ln.fetchAvail
+	if ln.cycle > earliest {
+		earliest = ln.cycle
 	}
 
 	// Instruction fetch: access the I-cache on each new line.
-	line := pc >> m.fetchLineBits
-	if line != m.lastFetchLine {
-		fres := m.hier.Fetch(earliest, pc)
-		base := uint64(m.cfg.Mem.L1I.HitLatency)
-		if m.cfg.Mem.L1I.TagDataSerial {
-			base++
-		}
-		if fres.Latency > base {
-			stall := fres.Latency - base
-			m.res.StallFrontEnd += stall
+	line := pc >> st.fetchLineBits
+	if line != ln.lastFetchLine {
+		fres := ln.hier.Fetch(earliest, pc)
+		if fres.Latency > st.fetchBase {
+			stall := fres.Latency - st.fetchBase
+			ln.res.StallFrontEnd += stall
 			earliest += stall
-			m.fetchAvail = earliest
+			ln.fetchAvail = earliest
 		}
-		m.lastFetchLine = line
+		ln.lastFetchLine = line
 	}
 
 	// Operand readiness (scoreboard).
 	ready := earliest
-	for _, r := range st.Srcs() {
-		if m.regReady[r] > ready {
-			ready = m.regReady[r]
+	for i := uint8(0); i < b.nSrc; i++ {
+		if r := ln.regReady[b.src[i]]; r > ready {
+			ready = r
 		}
 	}
 	if ready > earliest {
-		m.res.StallData += ready - earliest
+		ln.res.StallData += ready - earliest
 	}
 
-	issueAt := m.slotFor(st.Cls, ready)
+	issueAt := ln.slotFor(st, b, ready)
 
-	switch {
-	case st.Cls == isa.ClassLoad:
-		if !m.hier.L1D().Probe(memAddr) {
+	switch b.kind {
+	case stepLoad:
+		if !ln.hier.L1D().Probe(memAddr) {
 			// A miss needs an MSHR; a full file stalls the pipeline
 			// (hit-under-miss is allowed, miss-under-full is not).
-			if d := m.mshr.wait(issueAt); d > 0 {
-				m.res.StallStruct += d
+			if d := ln.mshr.wait(issueAt); d > 0 {
+				ln.res.StallStruct += d
 				issueAt += d
-				m.advanceCycle(issueAt)
+				ln.advanceCycle(issueAt)
 			}
 		}
-		res := m.hier.Load(issueAt, pc, memAddr)
+		res := ln.hier.Load(issueAt, pc, memAddr)
 		done := issueAt + res.Latency
 		if res.Level > 1 {
-			m.mshr.note(done)
+			ln.mshr.note(done)
 		}
-		for _, r := range st.Dsts() {
-			m.regReady[r] = done
+		for i := uint8(0); i < b.nDst; i++ {
+			ln.regReady[b.dst[i]] = done
 		}
-		m.retire(done)
+		ln.retire(done)
 
-	case st.Cls == isa.ClassStore:
+	case stepStore:
 		// A full store buffer stalls the pipeline until a slot drains.
-		if d := m.sb.wait(issueAt); d > 0 {
-			m.res.StallStruct += d
+		if d := ln.sb.wait(issueAt); d > 0 {
+			ln.res.StallStruct += d
 			issueAt += d
-			m.advanceCycle(issueAt)
+			ln.advanceCycle(issueAt)
 		}
 		start := issueAt
-		if m.sbLast > start {
-			start = m.sbLast
+		if ln.sbLast > start {
+			start = ln.sbLast
 		}
-		res := m.hier.Store(start, pc, memAddr)
+		res := ln.hier.Store(start, pc, memAddr)
 		drain := start + res.Latency
-		m.sbLast = drain
-		m.sb.note(drain)
+		ln.sbLast = drain
+		ln.sb.note(drain)
 		// The store retires quickly; the drain happens in the background.
-		m.retire(issueAt + 1)
+		ln.retire(issueAt + 1)
 
-	case st.Cls.IsBranch():
-		resolve := issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
-		out := m.bu.AccessOutcome(st.Cls, st.Op, pc, target, taken)
+	case stepBranch:
+		resolve := issueAt + st.lat[b.Cls]
+		out := ln.bu.AccessOutcome(b.Cls, b.Op, pc, target, taken)
 		if out.Mispredict {
-			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
-			m.fetchAvail = resolve + pen
-			m.res.StallFrontEnd += pen
+			ln.fetchAvail = resolve + st.mispredictPen
+			ln.res.StallFrontEnd += st.mispredictPen
 		} else if out.TargetMiss {
-			pen := uint64(m.cfg.FrontEnd.BTBMissPenalty)
-			if m.fetchAvail < issueAt+pen {
-				m.fetchAvail = issueAt + pen
+			if ln.fetchAvail < issueAt+st.btbMissPen {
+				ln.fetchAvail = issueAt + st.btbMissPen
 			}
-			m.res.StallFrontEnd += pen
+			ln.res.StallFrontEnd += st.btbMissPen
 		}
-		for _, r := range st.Dsts() { // BL writes the link register
-			m.regReady[r] = resolve
+		for i := uint8(0); i < b.nDst; i++ { // BL writes the link register
+			ln.regReady[b.dst[i]] = resolve
 		}
-		m.retire(resolve)
+		ln.retire(resolve)
 
 	default:
-		done := issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
-		for _, r := range st.Dsts() {
-			m.regReady[r] = done
+		done := issueAt + st.lat[b.Cls]
+		for i := uint8(0); i < b.nDst; i++ {
+			ln.regReady[b.dst[i]] = done
 		}
-		m.retire(done)
+		ln.retire(done)
 	}
 }

@@ -10,17 +10,43 @@ import (
 	"racesim/internal/trace"
 )
 
-// OoO is the out-of-order core timing model (Cortex-A72 class): wide
-// dispatch into a reorder buffer, dataflow-limited issue over the pipe
-// contention model, bounded issue queue, load/store queues, MSHR-limited
-// memory-level parallelism, and in-order retirement. It is a one-pass
-// window model in the spirit of Sniper's instruction-window-centric core.
-type OoO struct {
-	cfg  OoOConfig
-	dc   *decodeCache
+// oooStatic is the config-derived state of the out-of-order model that is
+// never written during replay; see inOrderStatic.
+type oooStatic struct {
+	dispatchWidth int
+	retireWidth   int
+
+	fetchLineBits uint
+	fetchBase     uint64
+	mispredictPen uint64
+	btbMissPen    uint64
+
+	lat    [isa.NumClasses]uint64
+	depBug bool
+}
+
+func newOoOStatic(cfg OoOConfig) oooStatic {
+	base := uint64(cfg.Mem.L1I.HitLatency)
+	if cfg.Mem.L1I.TagDataSerial {
+		base++
+	}
+	return oooStatic{
+		dispatchWidth: cfg.DispatchWidth,
+		retireWidth:   cfg.RetireWidth,
+		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
+		fetchBase:     base,
+		mispredictPen: uint64(cfg.FrontEnd.MispredictPenalty),
+		btbMissPen:    uint64(cfg.FrontEnd.BTBMissPenalty),
+		lat:           latencyTable(cfg.Lat),
+		depBug:        cfg.DecoderDepBug,
+	}
+}
+
+// oooLane is the per-config mutable state of one out-of-order replay.
+type oooLane struct {
 	hier *cache.Hierarchy
 	bu   *branch.Unit
-	cont *contention
+	cont contention
 
 	regReady [isa.NumRegs]uint64
 
@@ -29,7 +55,6 @@ type OoO struct {
 
 	fetchAvail    uint64
 	lastFetchLine uint64
-	fetchLineBits uint
 
 	rob    []uint64 // retire cycle by sequence number mod ROBEntries
 	iq     []uint64 // issue cycle by sequence number mod IQEntries
@@ -49,22 +74,16 @@ type OoO struct {
 	res      Result
 }
 
-// NewOoO builds the model; cfg must be valid.
-func NewOoO(cfg OoOConfig) (*OoO, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+func newOoOLane(cfg OoOConfig) (oooLane, error) {
 	hier, err := cache.NewHierarchy(cfg.Mem)
 	if err != nil {
-		return nil, err
+		return oooLane{}, err
 	}
 	bu, err := branch.NewUnit(cfg.Branch)
 	if err != nil {
-		return nil, err
+		return oooLane{}, err
 	}
-	return &OoO{
-		cfg:           cfg,
-		dc:            newDecodeCache(cfg.DecoderDepBug),
+	return oooLane{
 		hier:          hier,
 		bu:            bu,
 		cont:          newContention(cfg.Pipes, cfg.Lat),
@@ -73,8 +92,34 @@ func NewOoO(cfg OoOConfig) (*OoO, error) {
 		lq:            make([]uint64, cfg.LQEntries),
 		sq:            make([]uint64, cfg.SQEntries),
 		mshr:          newSeqRing(cfg.MSHRs),
-		fetchLineBits: uint(bits.TrailingZeros(uint(cfg.Mem.L1I.LineSize))),
 		lastFetchLine: ^uint64(0),
+	}, nil
+}
+
+// OoO is the out-of-order core timing model (Cortex-A72 class): wide
+// dispatch into a reorder buffer, dataflow-limited issue over the pipe
+// contention model, bounded issue queue, load/store queues, MSHR-limited
+// memory-level parallelism, and in-order retirement. It is a one-pass
+// window model in the spirit of Sniper's instruction-window-centric core.
+type OoO struct {
+	st   oooStatic
+	lane oooLane
+	dc   *decodeCache
+}
+
+// NewOoO builds the model; cfg must be valid.
+func NewOoO(cfg OoOConfig) (*OoO, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lane, err := newOoOLane(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OoO{
+		st:   newOoOStatic(cfg),
+		lane: lane,
+		dc:   newDecodeCache(cfg.DecoderDepBug),
 	}, nil
 }
 
@@ -85,197 +130,201 @@ func (m *OoO) Run(src trace.Source) (Result, error) {
 		if !ok {
 			break
 		}
-		in, err := m.dc.decode(ev)
+		b, err := m.dc.decode(ev)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %w", err)
 		}
-		m.step(&in, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
+		m.lane.res.Instructions++
+		m.lane.res.ClassCounts[b.Cls]++
+		m.lane.stepLane(&m.st, b, ev.PC, ev.MemAddr, ev.Target, ev.Taken)
 	}
-	return m.finish(), nil
+	return m.lane.finish(), nil
 }
 
 // RunDecoded implements Model.
 func (m *OoO) RunDecoded(d *trace.Decoded) (Result, error) {
-	if d.DepBug != m.cfg.DecoderDepBug {
-		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.cfg.DecoderDepBug)
+	return m.RunDecodedBehaviors(d, nil)
+}
+
+// RunDecodedBehaviors is RunDecoded with a pre-compiled behavior table for
+// d.Insts (nil: compiled here).
+func (m *OoO) RunDecodedBehaviors(d *trace.Decoded, behav []Behavior) (Result, error) {
+	if d.DepBug != m.st.depBug {
+		return Result{}, fmt.Errorf("core: decoded trace uses DepBug=%v, model configured with %v", d.DepBug, m.st.depBug)
 	}
-	insts, pcs, mems, tgts := d.Insts, d.PC, d.MemAddr, d.Target
+	if behav == nil {
+		behav = CompileBehaviors(d.Insts)
+	}
+	pcs, mems, tgts := d.PC, d.MemAddr, d.Target
 	for i, id := range d.IDs {
-		m.step(&insts[id], pcs[i], mems[i], tgts[i], d.Taken(i))
+		m.lane.stepLane(&m.st, &behav[id], pcs[i], mems[i], tgts[i], d.Taken(i))
 	}
 	if d.Err != nil {
 		return Result{}, fmt.Errorf("core: %w", d.Err)
 	}
-	return m.finish(), nil
+	cc := classHistogram(d.IDs, behav)
+	addCounts(&m.lane.res, uint64(len(d.IDs)), &cc)
+	return m.lane.finish(), nil
 }
 
-func (m *OoO) finish() Result {
-	m.res.Cycles = m.endCycle
-	if m.res.Cycles == 0 && m.res.Instructions > 0 {
-		m.res.Cycles = m.res.Instructions
+func (ln *oooLane) finish() Result {
+	ln.res.Cycles = ln.endCycle
+	if ln.res.Cycles == 0 && ln.res.Instructions > 0 {
+		ln.res.Cycles = ln.res.Instructions
 	}
-	m.res.Branch = m.bu.Stats()
-	m.res.Mem = m.hier.Stats()
-	m.res.StallStruct += m.cont.stalls
-	return m.res
+	ln.res.Branch = ln.bu.Stats()
+	ln.res.Mem = ln.hier.Stats()
+	ln.res.StallStruct += ln.cont.stalls
+	return ln.res
 }
 
 // retireSlot assigns an in-order retirement cycle with RetireWidth slots
 // per cycle.
-func (m *OoO) retireSlot(complete uint64) uint64 {
+func (ln *oooLane) retireSlot(st *oooStatic, complete uint64) uint64 {
 	t := complete + 1
-	if t < m.lastRetire {
-		t = m.lastRetire
+	if t < ln.lastRetire {
+		t = ln.lastRetire
 	}
-	if t == m.lastRetire && m.retiredInCyc >= m.cfg.RetireWidth {
+	if t == ln.lastRetire && ln.retiredInCyc >= st.retireWidth {
 		t++
 	}
-	if t > m.lastRetire {
-		m.lastRetire = t
-		m.retiredInCyc = 0
+	if t > ln.lastRetire {
+		ln.lastRetire = t
+		ln.retiredInCyc = 0
 	}
-	m.retiredInCyc++
-	if t > m.endCycle {
-		m.endCycle = t
+	ln.retiredInCyc++
+	if t > ln.endCycle {
+		ln.endCycle = t
 	}
 	return t
 }
 
-// step advances the model by one dynamic instruction: st is the shared
-// static decode (never mutated), the remaining arguments are the event's
-// dynamic fields.
-func (m *OoO) step(st *isa.Inst, pc, memAddr, target uint64, taken bool) {
-	m.res.Instructions++
-	m.res.ClassCounts[st.Cls]++
-	seq := m.seq
-	m.seq++
+// stepLane advances one lane by one dynamic instruction; see the in-order
+// stepLane for the kernel contract.
+func (ln *oooLane) stepLane(st *oooStatic, b *Behavior, pc, memAddr, target uint64, taken bool) {
+	seq := ln.seq
+	ln.seq++
 
 	// Window constraints: the ROB slot of (seq - ROBEntries) must have
 	// retired; the IQ slot of (seq - IQEntries) must have issued.
-	earliest := m.fetchAvail
-	if r := m.rob[seq%uint64(len(m.rob))]; seq >= uint64(len(m.rob)) && r > earliest {
-		m.res.StallStruct += r - earliest
+	earliest := ln.fetchAvail
+	if r := ln.rob[seq%uint64(len(ln.rob))]; seq >= uint64(len(ln.rob)) && r > earliest {
+		ln.res.StallStruct += r - earliest
 		earliest = r
 	}
-	if q := m.iq[seq%uint64(len(m.iq))]; seq >= uint64(len(m.iq)) && q > earliest {
-		m.res.StallStruct += q - earliest
+	if q := ln.iq[seq%uint64(len(ln.iq))]; seq >= uint64(len(ln.iq)) && q > earliest {
+		ln.res.StallStruct += q - earliest
 		earliest = q
 	}
-	if st.Cls == isa.ClassLoad {
-		if l := m.lq[m.loads%uint64(len(m.lq))]; m.loads >= uint64(len(m.lq)) && l > earliest {
+	if b.kind == stepLoad {
+		if l := ln.lq[ln.loads%uint64(len(ln.lq))]; ln.loads >= uint64(len(ln.lq)) && l > earliest {
 			earliest = l
 		}
 	}
-	if st.Cls == isa.ClassStore {
-		if s := m.sq[m.stores%uint64(len(m.sq))]; m.stores >= uint64(len(m.sq)) && s > earliest {
+	if b.kind == stepStore {
+		if s := ln.sq[ln.stores%uint64(len(ln.sq))]; ln.stores >= uint64(len(ln.sq)) && s > earliest {
 			earliest = s
 		}
 	}
 
 	// Instruction fetch.
-	line := pc >> m.fetchLineBits
-	if line != m.lastFetchLine {
-		fres := m.hier.Fetch(earliest, pc)
-		base := uint64(m.cfg.Mem.L1I.HitLatency)
-		if m.cfg.Mem.L1I.TagDataSerial {
-			base++
-		}
-		if fres.Latency > base {
-			stall := fres.Latency - base
-			m.res.StallFrontEnd += stall
+	line := pc >> st.fetchLineBits
+	if line != ln.lastFetchLine {
+		fres := ln.hier.Fetch(earliest, pc)
+		if fres.Latency > st.fetchBase {
+			stall := fres.Latency - st.fetchBase
+			ln.res.StallFrontEnd += stall
 			earliest += stall
-			if earliest > m.fetchAvail {
-				m.fetchAvail = earliest
+			if earliest > ln.fetchAvail {
+				ln.fetchAvail = earliest
 			}
 		}
-		m.lastFetchLine = line
+		ln.lastFetchLine = line
 	}
 
 	// Dispatch slot.
-	if earliest > m.dispatchCycle {
-		m.dispatchCycle = earliest
-		m.dispatched = 0
+	if earliest > ln.dispatchCycle {
+		ln.dispatchCycle = earliest
+		ln.dispatched = 0
 	}
-	if m.dispatched >= m.cfg.DispatchWidth {
-		m.dispatchCycle++
-		m.dispatched = 0
+	if ln.dispatched >= st.dispatchWidth {
+		ln.dispatchCycle++
+		ln.dispatched = 0
 	}
-	dispatchAt := m.dispatchCycle
-	m.dispatched++
+	dispatchAt := ln.dispatchCycle
+	ln.dispatched++
 
 	// Dataflow: operands.
 	ready := dispatchAt + 1 // one cycle from rename to earliest issue
-	for _, r := range st.Srcs() {
-		if m.regReady[r] > ready {
-			ready = m.regReady[r]
+	for i := uint8(0); i < b.nSrc; i++ {
+		if r := ln.regReady[b.src[i]]; r > ready {
+			ready = r
 		}
 	}
 	if ready > dispatchAt+1 {
-		m.res.StallData += ready - dispatchAt - 1
+		ln.res.StallData += ready - dispatchAt - 1
 	}
 
-	issueAt := m.cont.issue(st.Cls, ready)
-	m.iq[seq%uint64(len(m.iq))] = issueAt
+	issueAt := ln.cont.issue(b.Cls, ready)
+	ln.iq[seq%uint64(len(ln.iq))] = issueAt
 
 	var complete uint64
-	switch {
-	case st.Cls == isa.ClassLoad:
-		if !m.hier.L1D().Probe(memAddr) {
+	switch b.kind {
+	case stepLoad:
+		if !ln.hier.L1D().Probe(memAddr) {
 			// Misses need an MSHR: issue waits for a free one, which
 			// bounds memory-level parallelism.
-			if d := m.mshr.wait(issueAt); d > 0 {
-				m.res.StallStruct += d
+			if d := ln.mshr.wait(issueAt); d > 0 {
+				ln.res.StallStruct += d
 				issueAt += d
 			}
 		}
-		res := m.hier.Load(issueAt, pc, memAddr)
+		res := ln.hier.Load(issueAt, pc, memAddr)
 		complete = issueAt + res.Latency
 		if res.Level > 1 {
-			m.mshr.note(complete)
+			ln.mshr.note(complete)
 		}
-		m.lq[m.loads%uint64(len(m.lq))] = complete
-		m.loads++
+		ln.lq[ln.loads%uint64(len(ln.lq))] = complete
+		ln.loads++
 
-	case st.Cls == isa.ClassStore:
+	case stepStore:
 		// Stores commit at retirement; the drain is background but
 		// serialized, and the SQ entry is held until drain completes.
 		start := issueAt
-		if m.sbLast > start {
-			start = m.sbLast
+		if ln.sbLast > start {
+			start = ln.sbLast
 		}
-		res := m.hier.Store(start, pc, memAddr)
+		res := ln.hier.Store(start, pc, memAddr)
 		drain := start + res.Latency
-		m.sbLast = drain
+		ln.sbLast = drain
 		if res.Level > 1 {
-			m.mshr.note(drain)
+			ln.mshr.note(drain)
 		}
-		m.sq[m.stores%uint64(len(m.sq))] = drain
-		m.stores++
+		ln.sq[ln.stores%uint64(len(ln.sq))] = drain
+		ln.stores++
 		complete = issueAt + 1
 
-	case st.Cls.IsBranch():
-		complete = issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
-		out := m.bu.AccessOutcome(st.Cls, st.Op, pc, target, taken)
+	case stepBranch:
+		complete = issueAt + st.lat[b.Cls]
+		out := ln.bu.AccessOutcome(b.Cls, b.Op, pc, target, taken)
 		if out.Mispredict {
-			pen := uint64(m.cfg.FrontEnd.MispredictPenalty)
-			if complete+pen > m.fetchAvail {
-				m.fetchAvail = complete + pen
+			if complete+st.mispredictPen > ln.fetchAvail {
+				ln.fetchAvail = complete + st.mispredictPen
 			}
-			m.res.StallFrontEnd += pen
+			ln.res.StallFrontEnd += st.mispredictPen
 		} else if out.TargetMiss {
-			pen := uint64(m.cfg.FrontEnd.BTBMissPenalty)
-			if dispatchAt+pen > m.fetchAvail {
-				m.fetchAvail = dispatchAt + pen
+			if dispatchAt+st.btbMissPen > ln.fetchAvail {
+				ln.fetchAvail = dispatchAt + st.btbMissPen
 			}
-			m.res.StallFrontEnd += pen
+			ln.res.StallFrontEnd += st.btbMissPen
 		}
 
 	default:
-		complete = issueAt + uint64(m.cfg.Lat.Latency(st.Cls))
+		complete = issueAt + st.lat[b.Cls]
 	}
 
-	for _, r := range st.Dsts() {
-		m.regReady[r] = complete
+	for i := uint8(0); i < b.nDst; i++ {
+		ln.regReady[b.dst[i]] = complete
 	}
-	m.rob[seq%uint64(len(m.rob))] = m.retireSlot(complete)
+	ln.rob[seq%uint64(len(ln.rob))] = ln.retireSlot(st, complete)
 }

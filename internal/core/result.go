@@ -51,32 +51,30 @@ type Model interface {
 	RunDecoded(d *trace.Decoded) (Result, error)
 }
 
-// decodeCache memoizes static decode by instruction word: trace replay
-// re-decodes the same hot words millions of times.
+// decodeCache memoizes static decode by instruction word — compiled
+// straight to the Behavior the step kernel consumes — for the per-event
+// oracle path (Model.Run), which re-decodes the same hot words millions of
+// times.
 type decodeCache struct {
 	dec   isa.Decoder
-	cache map[uint32]isa.Inst
+	cache map[uint32]*Behavior
 }
 
 func newDecodeCache(depBug bool) *decodeCache {
-	return &decodeCache{dec: isa.Decoder{DepBug: depBug}, cache: make(map[uint32]isa.Inst, 1024)}
+	return &decodeCache{dec: isa.Decoder{DepBug: depBug}, cache: make(map[uint32]*Behavior, 1024)}
 }
 
-// decode returns the decoded instruction for a trace event with dynamic
-// fields filled in.
-func (d *decodeCache) decode(ev trace.Event) (isa.Inst, error) {
-	in, ok := d.cache[ev.Word]
+// decode returns the behavior for a trace event's instruction word.
+func (d *decodeCache) decode(ev trace.Event) (*Behavior, error) {
+	b, ok := d.cache[ev.Word]
 	if !ok {
-		var err error
-		in, err = d.dec.Decode(0, ev.Word)
+		in, err := d.dec.Decode(0, ev.Word)
 		if err != nil {
-			return isa.Inst{}, err
+			return nil, err
 		}
-		d.cache[ev.Word] = in
+		nb := behaviorOf(&in)
+		b = &nb
+		d.cache[ev.Word] = b
 	}
-	in.PC = ev.PC
-	in.MemAddr = ev.MemAddr
-	in.Taken = ev.Taken
-	in.Target = ev.Target
-	return in, nil
+	return b, nil
 }

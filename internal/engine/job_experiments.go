@@ -132,6 +132,7 @@ func (e *env) experimentsJob(j *ExperimentsJob) error {
 			BudgetRound2:   budget2,
 			Seed:           j.Seed,
 			Parallelism:    e.par,
+			Lanes:          e.lanes,
 			Cache:          e.cache,
 			Context:        e.ctx,
 			Log:            logf,

@@ -21,6 +21,9 @@ type ServerOptions struct {
 	// Parallelism bounds concurrent simulations within one job (<=0:
 	// GOMAXPROCS).
 	Parallelism int
+	// Lanes, when > 1, lane-batches simulations sharing a trace within
+	// each job (see engine.Options.Lanes).
+	Lanes int
 	// Workers is the number of jobs executing concurrently (default 1 —
 	// jobs already fan their simulation units across Parallelism cores).
 	Workers int
@@ -245,6 +248,7 @@ func (s *Server) worker() {
 		// worker died, silently wedging the whole queue).
 		res, err := ExecuteContext(ctx, st.job, Options{
 			Parallelism: s.opts.Parallelism,
+			Lanes:       s.opts.Lanes,
 			Cache:       s.cache,
 			Stderr:      st,   // live progress ring
 			Capture:     true, // the stored Result is the job's only output

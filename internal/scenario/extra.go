@@ -93,6 +93,7 @@ func budgetSweepUnits(sp Spec) []Unit {
 					Seed:        o.Seed + sp.SeedOffset,
 					Cache:       rt.Ctx.Runner().Cache(),
 					Parallelism: rt.Ctx.Runner().Parallelism(),
+					Lanes:       rt.Ctx.Runner().Lanes(),
 					Log:         o.Log,
 				})
 				if err != nil {
@@ -169,6 +170,7 @@ func noiseSweepUnits(sp Spec) []Unit {
 					Seed:        o.Seed + sp.SeedOffset + int64(li),
 					Cache:       cache,
 					Parallelism: par,
+					Lanes:       rt.Ctx.Runner().Lanes(),
 					Log:         o.Log,
 				})
 				if err != nil {

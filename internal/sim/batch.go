@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"racesim/internal/core"
+	"racesim/internal/trace"
+)
+
+// behaviorTables memoizes the compiled behavior table per decoded trace.
+// A *trace.Decoded is immutable and itself memoized on its Trace (one
+// instance per decoder variant), so the pointer is a stable key; like the
+// decode it caches for, an entry lives as long as the process (traces are
+// few and long-lived in every racesim workload).
+var behaviorTables sync.Map // *trace.Decoded -> []core.Behavior
+
+// Behaviors returns the memoized behavior table for a decoded trace,
+// compiling it on first use. The table is immutable and share-safe.
+func Behaviors(d *trace.Decoded) []core.Behavior {
+	if v, ok := behaviorTables.Load(d); ok {
+		return v.([]core.Behavior)
+	}
+	v, _ := behaviorTables.LoadOrStore(d, core.CompileBehaviors(d.Insts))
+	return v.([]core.Behavior)
+}
+
+// RunBatch replays one decoded trace under every configuration in a
+// single walk over the columns, stepping a vector of per-config lanes in
+// lockstep, and returns results aligned with configs. Lanes are fully
+// independent, so out[i] is exactly what configs[i].RunDecoded(d) returns
+// — batching changes throughput, never results. Configs may mix core
+// kinds (each kind walks once); every config must share d's decoder
+// variant. Traces that declare WarmData disable the zero-fill page
+// optimization per lane, as in the sequential path.
+func RunBatch(configs []Config, d *trace.Decoded) ([]core.Result, error) {
+	if len(configs) == 0 {
+		return nil, nil
+	}
+	behav := Behaviors(d)
+	out := make([]core.Result, len(configs))
+
+	var inIdx, oooIdx []int
+	var inCfgs []core.InOrderConfig
+	var oooCfgs []core.OoOConfig
+	for i, c := range configs {
+		if d.WarmData {
+			c.Mem.ZeroFillOpt = false
+		}
+		switch c.Kind {
+		case InOrder:
+			inIdx = append(inIdx, i)
+			inCfgs = append(inCfgs, c.inOrder())
+		case OutOfOrder:
+			oooIdx = append(oooIdx, i)
+			oooCfgs = append(oooCfgs, c.ooo())
+		default:
+			return nil, fmt.Errorf("sim: unknown core kind %q", c.Kind)
+		}
+	}
+	if len(inCfgs) > 0 {
+		b, err := core.NewInOrderBatch(inCfgs)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := b.RunDecoded(d, behav)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range inIdx {
+			out[i] = rs[j]
+		}
+	}
+	if len(oooCfgs) > 0 {
+		b, err := core.NewOoOBatch(oooCfgs)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := b.RunDecoded(d, behav)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range oooIdx {
+			out[i] = rs[j]
+		}
+	}
+	return out, nil
+}
+
+// RunBatchTrace is RunBatch over a raw trace: all configs must share a
+// decoder variant (they are replayed against one decode).
+func RunBatchTrace(configs []Config, tr *trace.Trace) ([]core.Result, error) {
+	if len(configs) == 0 {
+		return nil, nil
+	}
+	depBug := configs[0].DecoderDepBug
+	for _, c := range configs[1:] {
+		if c.DecoderDepBug != depBug {
+			return nil, fmt.Errorf("sim: batch mixes decoder variants (DepBug true and false)")
+		}
+	}
+	return RunBatch(configs, tr.Decoded(depBug))
+}

@@ -132,33 +132,15 @@ func (c Config) Run(tr *trace.Trace) (core.Result, error) {
 
 // RunDecoded replays a pre-decoded trace on a fresh model instance. The
 // decoded variant must match the configuration's DecoderDepBug setting
-// (Run picks the right one automatically).
+// (Run picks the right one automatically). It is a single-lane RunBatch,
+// so sequential and batched replay share one maintained hot path (the
+// per-lane step kernel) and one memoized behavior table per decode.
 func (c Config) RunDecoded(d *trace.Decoded) (core.Result, error) {
-	cfg := c
-	if d.WarmData {
-		cfg.Mem.ZeroFillOpt = false
-	}
-	m, err := cfg.Model()
+	rs, err := RunBatch([]Config{c}, d)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return m.RunDecoded(d)
-}
-
-// RunCursor replays a trace through the legacy per-event decode path
-// (a trace.Cursor feeding the model's decode cache). It is the reference
-// implementation that replay-parity tests and benchmarks compare Run
-// against; both produce identical results.
-func (c Config) RunCursor(tr *trace.Trace) (core.Result, error) {
-	cfg := c
-	if tr.WarmData {
-		cfg.Mem.ZeroFillOpt = false
-	}
-	m, err := cfg.Model()
-	if err != nil {
-		return core.Result{}, err
-	}
-	return m.Run(trace.NewCursor(tr))
+	return rs[0], nil
 }
 
 // Fingerprint returns a stable hex digest of the configuration's canonical

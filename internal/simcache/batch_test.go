@@ -1,0 +1,135 @@
+package simcache
+
+import (
+	"reflect"
+	"testing"
+
+	"racesim/internal/sim"
+)
+
+// batchConfigs is a mixed submission: both core kinds and both decoder
+// variants (the presets ship with the decoder bug on), so RunBatch must
+// split it across distinct column walks.
+func batchConfigs() []sim.Config {
+	a53fix := sim.PublicA53()
+	a53fix.DecoderDepBug = false
+	a72fix := sim.PublicA72()
+	a72fix.DecoderDepBug = false
+	return []sim.Config{sim.PublicA53(), a53fix, sim.PublicA72(), a72fix}
+}
+
+func TestRunBatchMatchesRun(t *testing.T) {
+	tr := testTrace(t, "MD")
+	cfgs := batchConfigs()
+
+	c := New()
+	rs, errs := c.RunBatch(cfgs, tr, BatchOptions{Lanes: 2})
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("config %d: %v", i, errs[i])
+		}
+		want, err := cfg.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, rs[i]) {
+			t.Errorf("config %d (%s depbug=%v): batched result differs from sequential",
+				i, cfg.Kind, cfg.DecoderDepBug)
+		}
+	}
+	if st := c.Stats(); st.Misses != uint64(len(cfgs)) || st.Hits != 0 {
+		t.Errorf("fresh batch: stats %+v, want %d misses and no hits", st, len(cfgs))
+	}
+}
+
+func TestRunBatchHitsAndIntraBatchDuplicates(t *testing.T) {
+	tr := testTrace(t, "MC")
+	base := batchConfigs()
+
+	c := New()
+	// Warm one configuration through the sequential path.
+	warm, err := c.Run(base[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit it again alongside fresh work and an intra-batch duplicate.
+	cfgs := []sim.Config{base[0], base[2], base[2], base[1]}
+	rs, errs := c.RunBatch(cfgs, tr, BatchOptions{})
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("config %d: %v", i, errs[i])
+		}
+	}
+	if !reflect.DeepEqual(rs[0], warm) {
+		t.Error("stored entry changed through the batch path")
+	}
+	if !reflect.DeepEqual(rs[1], rs[2]) {
+		t.Error("intra-batch duplicate slots disagree")
+	}
+	st := c.Stats()
+	// base[0] hits, base[2] misses once (its duplicate waits on the
+	// in-flight slot), base[1] misses.
+	if st.Hits != 1 || st.Misses != 3 || st.Shared != 1 {
+		t.Errorf("stats %+v, want 1 hit, 3 misses (1 warm + 2 batch), 1 shared", st)
+	}
+}
+
+func TestRunBatchNilCache(t *testing.T) {
+	tr := testTrace(t, "MD")
+	cfgs := batchConfigs()
+	var c *Cache
+	rs, errs := c.RunBatch(cfgs, tr, BatchOptions{Lanes: 3})
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("config %d: %v", i, errs[i])
+		}
+		want, err := cfg.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, rs[i]) {
+			t.Errorf("config %d: nil-cache batched result differs from sequential", i)
+		}
+	}
+}
+
+func TestRunBatchInvalidConfigPoisonsOnlyItsSlot(t *testing.T) {
+	tr := testTrace(t, "MD")
+	bad := sim.PublicA53()
+	bad.Kind = "bogus"
+	cfgs := []sim.Config{sim.PublicA53(), bad, sim.PublicA72()}
+
+	c := New()
+	rs, errs := c.RunBatch(cfgs, tr, BatchOptions{Lanes: 4})
+	if errs[1] == nil {
+		t.Fatal("invalid configuration did not error")
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("config %d poisoned by its neighbour: %v", i, errs[i])
+		}
+		want, err := cfgs[i].Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, rs[i]) {
+			t.Errorf("config %d: fallback result differs from sequential", i)
+		}
+	}
+	// The healthy slots must be stored despite the failed walk.
+	if _, err := c.Run(cfgs[0], tr); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("healthy batch slot was not memoized: %+v", st)
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	c := New()
+	rs, errs := c.RunBatch(nil, testTrace(t, "MD"), BatchOptions{})
+	if len(rs) != 0 || len(errs) != 0 {
+		t.Errorf("empty batch returned %d results, %d errors", len(rs), len(errs))
+	}
+}

@@ -1,16 +1,34 @@
 package racesim
 
 import (
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
 
 	"racesim/internal/core"
+	"racesim/internal/irace"
 	"racesim/internal/sim"
 	"racesim/internal/trace"
 	"racesim/internal/ubench"
 	"racesim/internal/workload"
 )
+
+// runCursor replays a trace through the legacy per-event decode path (a
+// trace.Cursor feeding the model's decode cache). The production API only
+// exposes the decode-once and batched paths; this oracle lives in the test
+// files so the parity suite can still compare against a replay that
+// re-derives everything per event.
+func runCursor(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
+	if tr.WarmData {
+		cfg.Mem.ZeroFillOpt = false
+	}
+	m, err := cfg.Model()
+	if err != nil {
+		return core.Result{}, err
+	}
+	return m.Run(trace.NewCursor(tr))
+}
 
 // parityTraces returns replay-parity fixtures spanning both trace sources:
 // an emulated micro-benchmark (cold data) and a synthesized workload
@@ -48,12 +66,12 @@ func parityConfigs() []sim.Config {
 
 // TestReplayParityDecodedVsCursor is the golden replay-parity test: the
 // decode-once columnar path (Config.Run) must produce a core.Result
-// deep-equal to the legacy per-event decode path (Config.RunCursor) for
+// deep-equal to the legacy per-event decode oracle (runCursor, above) for
 // both core kinds, both decoder variants, and both trace sources.
 func TestReplayParityDecodedVsCursor(t *testing.T) {
 	for _, tr := range parityTraces(t) {
 		for _, cfg := range parityConfigs() {
-			legacy, err := cfg.RunCursor(tr)
+			legacy, err := runCursor(cfg, tr)
 			if err != nil {
 				t.Fatalf("%s on %s (cursor): %v", cfg.Name, tr.Name, err)
 			}
@@ -76,7 +94,7 @@ func TestReplayParityInvalidWord(t *testing.T) {
 	bad := &trace.Trace{Name: "bad", Events: append(append([]trace.Event{}, tr.Events[:16]...),
 		trace.Event{PC: 0x9000, Word: ^uint32(0)})}
 	for _, cfg := range []sim.Config{sim.PublicA53(), sim.PublicA72()} {
-		_, errCursor := cfg.RunCursor(bad)
+		_, errCursor := runCursor(cfg, bad)
 		_, errDecoded := cfg.Run(bad)
 		if errCursor == nil || errDecoded == nil {
 			t.Fatalf("%s: want errors from both paths, got cursor=%v decoded=%v", cfg.Kind, errCursor, errDecoded)
@@ -133,6 +151,78 @@ func TestDecodedSharedAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(want[i], got[i]) {
 			t.Errorf("worker %d: concurrent result differs from sequential", i)
+		}
+	}
+}
+
+// sampleConfig draws one random configuration from the tuning space of a
+// random core kind. Invalid parameter combinations are resampled, so the
+// result is always a validated configuration.
+func sampleConfig(t *testing.T, rng *rand.Rand, spaces map[sim.CoreKind]*irace.Space, depBug bool) sim.Config {
+	t.Helper()
+	for tries := 0; tries < 100; tries++ {
+		base := sim.PublicA53()
+		if rng.Intn(2) == 1 {
+			base = sim.PublicA72()
+		}
+		base.DecoderDepBug = depBug
+		a := irace.Assignment{}
+		for _, p := range spaces[base.Kind].Params {
+			a[p.Name] = p.Values[rng.Intn(len(p.Values))]
+		}
+		cfg, err := sim.Apply(base, a)
+		if err != nil {
+			continue // invalid combination: resample
+		}
+		return cfg
+	}
+	t.Fatal("could not sample a valid configuration in 100 tries")
+	return sim.Config{}
+}
+
+// TestLaneParityRandomVectors is the lane-parity property test: random
+// vectors of configurations drawn from the tuning space — mixing both core
+// kinds within one batch — must come back from the lane-batched column
+// walk exactly equal, lane by lane, to sequential decode-once replay of
+// the same configurations. Both decoder variants and both trace sources
+// are covered.
+func TestLaneParityRandomVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190324)) // the paper's conference date
+	spaces := map[sim.CoreKind]*irace.Space{}
+	for _, kind := range []sim.CoreKind{sim.InOrder, sim.OutOfOrder} {
+		sp, err := sim.Space(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spaces[kind] = sp
+	}
+	for _, tr := range parityTraces(t) {
+		for _, depBug := range []bool{false, true} {
+			d := tr.Decoded(depBug)
+			for round := 0; round < 3; round++ {
+				lanes := 2 + rng.Intn(9) // 2..10
+				cfgs := make([]sim.Config, lanes)
+				for i := range cfgs {
+					cfgs[i] = sampleConfig(t, rng, spaces, depBug)
+				}
+				batched, err := sim.RunBatch(cfgs, d)
+				if err != nil {
+					t.Fatalf("%s depbug=%v round %d: RunBatch: %v", tr.Name, depBug, round, err)
+				}
+				if len(batched) != lanes {
+					t.Fatalf("%s depbug=%v round %d: %d results for %d lanes", tr.Name, depBug, round, len(batched), lanes)
+				}
+				for i, cfg := range cfgs {
+					want, err := cfg.RunDecoded(d)
+					if err != nil {
+						t.Fatalf("%s depbug=%v round %d lane %d: RunDecoded: %v", tr.Name, depBug, round, i, err)
+					}
+					if !reflect.DeepEqual(want, batched[i]) {
+						t.Errorf("%s depbug=%v round %d lane %d (%s):\n sequential %+v\n batched    %+v",
+							tr.Name, depBug, round, i, cfg.Kind, want, batched[i])
+					}
+				}
+			}
 		}
 	}
 }
