@@ -290,18 +290,24 @@ func cmdServe(args []string) error {
 		announce    = fs.String("announce", "", "write the bound listen address to this file once serving (for -addr :0 spawners)")
 		jobTimeout  = fs.Duration("job-timeout", 0, "server-enforced deadline per job (0 = none; jobs may also carry their own shorter timeout)")
 		chaosSpec   = fs.String("chaos", "", "inject engine-side faults (e.g. seed=7,panic=1,stall=2,poison=1); see docs/robustness.md")
+		cacheServer = fs.Bool("cache-server", false, "run as a shared cache tier: serve /v1/cache/* only, refuse jobs (403)")
+		cacheUp     = fs.String("cache-upstream", "", "resolve cache misses against this cache-server URL mid-run and write results back")
+		memBudget   = fs.Int64("mem-budget", 0, "in-memory cache budget in MiB (0 = unbounded); excess entries evict LRU-first")
 	)
 	fs.Parse(args)
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	opts := engine.ServerOptions{
-		Parallelism: *parallelism,
-		Lanes:       *lanes,
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		CachePath:   *cache,
-		JobTimeout:  *jobTimeout,
-		Log:         logf,
+		Parallelism:   *parallelism,
+		Lanes:         *lanes,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CachePath:     *cache,
+		JobTimeout:    *jobTimeout,
+		CacheServer:   *cacheServer,
+		CacheUpstream: *cacheUp,
+		MemoryBudget:  *memBudget << 20,
+		Log:           logf,
 	}
 	if *chaosSpec != "" {
 		spec, err := chaos.Parse(*chaosSpec)

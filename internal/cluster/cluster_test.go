@@ -437,3 +437,100 @@ func TestSweepByteIdenticalUnderChaosTransport(t *testing.T) {
 		t.Error("the chaos run injected nothing; the property was not exercised")
 	}
 }
+
+// TestSweepCacheServerSharedTier proves the mid-run half of cache
+// federation: workers configured with a cache upstream write results
+// back to the shared tier while running, and a second sweep with cold
+// local caches resolves its misses against that tier mid-run (counted
+// as remote hits) — all while staying byte-identical to the unsharded
+// single-process run.
+func TestSweepCacheServerSharedTier(t *testing.T) {
+	cacheSrv, err := engine.NewServer(engine.ServerOptions{CacheServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsCache := httptest.NewServer(cacheSrv.Handler())
+	t.Cleanup(func() {
+		tsCache.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), tinyTimeout)
+		defer cancel()
+		cacheSrv.Drain(ctx)
+	})
+
+	startUpstreamWorker := func() *httptest.Server {
+		srv, err := engine.NewServer(engine.ServerOptions{Parallelism: 2, CacheUpstream: tsCache.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), tinyTimeout)
+			defer cancel()
+			srv.Drain(ctx)
+		})
+		return ts
+	}
+
+	// The cache-server role must refuse units — the coordinator never
+	// dispatches to it, and a stray client gets a clean error.
+	if _, err := engine.NewClient(tsCache.URL).Submit(context.Background(), engine.Job{
+		Kind: engine.KindExperiments,
+		Experiments: &engine.ExperimentsJob{
+			Scenario: tinySelect, Scale: tinyScale, Events: tinyEvents,
+			Budget1: tinyBudget, Budget2: tinyBudget, Quiet: true,
+		},
+	}); err == nil {
+		t.Fatal("cache-server accepted a job; want refusal")
+	}
+
+	want := batchArtifact(t, tinySelect)
+
+	// Round 1: cold workers simulate everything and write back to the
+	// shared tier as they go.
+	tsA, tsB := startUpstreamWorker(), startUpstreamWorker()
+	opts := tinyOptions(tsA.URL, tsB.URL)
+	opts.CacheServer = tsCache.URL
+	got, rep, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round-1 sweep output differs from single-process run")
+	}
+	if rep.Cache.Misses == 0 {
+		t.Fatal("cold sweep reported no misses; shared tier cannot have been populated")
+	}
+
+	// Write-back is asynchronous; wait for the shared tier to go
+	// non-empty and stable before the warm round.
+	deadline := time.Now().Add(30 * time.Second)
+	last := -1
+	for {
+		n := cacheSrv.Cache().Stats().Entries
+		if n > 0 && n == last {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shared tier never stabilized (entries=%d)", n)
+		}
+		last = n
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Round 2: fresh workers with cold local caches. Every unit re-runs,
+	// but misses resolve mid-run against the shared tier.
+	tsC, tsD := startUpstreamWorker(), startUpstreamWorker()
+	opts2 := tinyOptions(tsC.URL, tsD.URL)
+	opts2.CacheServer = tsCache.URL
+	got2, rep2, err := cluster.Run(context.Background(), opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Errorf("round-2 sweep output differs from single-process run")
+	}
+	if rep2.Cache.RemoteHits == 0 {
+		t.Error("warm round reported no mid-run remote hits from the shared tier")
+	}
+}

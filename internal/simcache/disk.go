@@ -13,16 +13,16 @@ import (
 	"racesim/internal/core"
 )
 
-// fileFormat is bumped whenever the on-disk schema or the meaning of keys
-// changes (e.g. a new tunable parameter alters config fingerprints only
-// implicitly, but a Result field rename would not); mismatched snapshots
-// are ignored wholesale.
+// fileFormat is the legacy checksummed-JSON snapshot generation; binary
+// snapshots (binVersion) supersede it. SaveFile writes binary; loaders
+// sniff and accept both, so pre-migration snapshots stay warm and
+// `racesim cache convert` moves between them.
 const fileFormat = 1
 
-// entry is one persisted simulation result. Sum binds the result to its
-// key: sha256(key + canonical JSON of result). An entry whose checksum
-// does not match — disk corruption, hand edits, or a Result schema drift —
-// is rejected on load.
+// entry is one persisted simulation result in the JSON format. Sum
+// binds the result to its key: sha256(key + canonical JSON of result).
+// An entry whose checksum does not match — disk corruption, hand edits,
+// or a Result schema drift — is rejected on load.
 type entry struct {
 	Key    string      `json:"key"`
 	Result core.Result `json:"result"`
@@ -34,7 +34,7 @@ type file struct {
 	Entries []entry `json:"entries"`
 }
 
-// checksum computes the key-binding digest of a stored result.
+// checksum computes the key-binding digest of a JSON-stored result.
 func checksum(key string, res core.Result) (string, error) {
 	data, err := json.Marshal(res)
 	if err != nil {
@@ -64,9 +64,9 @@ func ValidatePath(path string) error {
 
 // LoadChecked is the driver-facing load path shared by every binary:
 // validate that path is plausibly writable (so a typo'd cache flag fails
-// before hours of work, not after), merge the snapshot, and report both
-// accepted and checksum-rejected entry counts so callers can warn about
-// corruption without re-deriving it from Stats.
+// before hours of work, not after), attach or merge the snapshot, and
+// report both accepted and checksum-rejected entry counts so callers can
+// warn about corruption without re-deriving it from Stats.
 func (c *Cache) LoadChecked(path string) (accepted int, rejected uint64, err error) {
 	if err := ValidatePath(path); err != nil {
 		return 0, 0, err
@@ -95,15 +95,78 @@ func (e *StaleFormatError) Error() string {
 		e.Path, e.Format, fileFormat)
 }
 
-// LoadFile merges a snapshot written by SaveFile into the cache. A missing
-// file is not an error (first run is simply cold); a snapshot in a stale
-// format loads nothing and returns a *StaleFormatError the caller can
-// log or ignore. Entries failing the checksum are dropped and counted in
-// Stats.Rejected; the number of accepted entries is returned.
+// LoadFile loads a snapshot written by SaveFile into the cache, sniffing
+// the format. A binary snapshot is attached as the mmap-backed disk
+// tier — cold start parses only the index; records materialize on first
+// touch — unless a tier is already attached, in which case its records
+// stream-merge into memory. A legacy JSON snapshot is decoded and merged
+// entry by entry. A missing file is not an error (first run is simply
+// cold); a snapshot in a stale format loads nothing and returns a
+// *StaleFormatError the caller can log or ignore. Entries failing the
+// checksum are dropped and counted in Stats.Rejected (lazily, for the
+// attached tier); the number of loaded entries is returned.
 func (c *Cache) LoadFile(path string) (int, error) {
 	if c == nil {
 		return 0, nil
 	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var magic [4]byte
+	n, _ := f.ReadAt(magic[:], 0)
+	f.Close()
+	if n == 4 && IsBinarySnapshot(magic[:]) {
+		return c.loadBinaryFile(path)
+	}
+	return c.loadJSONFile(path)
+}
+
+// loadBinaryFile attaches (or merges) a binary snapshot.
+func (c *Cache) loadBinaryFile(path string) (int, error) {
+	m, err := OpenMapped(path)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if c.disk == nil {
+		c.disk = m
+		c.shadowed = 0
+		for k := range c.entries {
+			if m.Has(k) {
+				c.shadowed++
+			}
+		}
+		n := m.Count()
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	// A disk tier is already attached: materialize this snapshot's
+	// records into memory instead (checksum-verified record by record).
+	defer m.Close()
+	added, replaced := 0, 0
+	m.RangeKeys(func(key string, _ int) bool {
+		res, err := m.Get(key)
+		if err != nil {
+			c.countRejected()
+			return true
+		}
+		if c.Store(key, res) {
+			replaced++
+		} else {
+			added++
+		}
+		return true
+	})
+	return added + replaced, nil
+}
+
+// loadJSONFile merges a legacy JSON snapshot.
+func (c *Cache) loadJSONFile(path string) (int, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return 0, nil
@@ -130,23 +193,58 @@ func (c *Cache) LoadFile(path string) (int, error) {
 			continue
 		}
 		if _, ok := c.entries[e.Key]; !ok {
-			c.entries[e.Key] = e.Result
+			c.insertLocked(e.Key, e.Result)
 			accepted++
 		}
 	}
 	return accepted, nil
 }
 
-// SaveFile writes every stored result to path as checksummed JSON,
-// atomically and durably: the temp file is fsynced before the rename and
-// the parent directory after it, so a machine crash at any point leaves
-// either the previous snapshot or the complete new one — never an empty
-// or truncated file that a rename of unflushed data could persist.
+// SaveFile streams every stored result (memory merged with the attached
+// disk tier) to path in the binary snapshot format, atomically and
+// durably: records stream to a temp file — the full snapshot never
+// exists in memory — which is fsynced before the rename and the parent
+// directory after it, so a machine crash at any point leaves either the
+// previous snapshot or the complete new one. Renaming over a currently
+// mapped snapshot is safe: the old inode stays mapped until Close.
 func (c *Cache) SaveFile(path string) error {
 	if c == nil {
 		return nil
 	}
-	data, err := c.Marshal()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".simcache-*")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteBinaryTo(tmp, nil); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// SaveFileJSON writes the snapshot in the legacy checksummed-JSON
+// format with the same atomicity and durability as SaveFile. It exists
+// for `racesim cache convert` and for operators pinned to the readable
+// format.
+func (c *Cache) SaveFileJSON(path string) error {
+	if c == nil {
+		return nil
+	}
+	data, err := c.MarshalLegacyJSON()
 	if err != nil {
 		return err
 	}

@@ -30,26 +30,38 @@ func seededSnapshot(t *testing.T) (string, []byte) {
 	return path, data
 }
 
-func TestLoadFileStaleFormatIsTypedCondition(t *testing.T) {
-	path, data := seededSnapshot(t)
-	var f file
-	if err := json.Unmarshal(data, &f); err != nil {
+// seededJSONSnapshot is seededSnapshot in the legacy JSON format.
+func seededJSONSnapshot(t *testing.T) (string, []byte) {
+	t.Helper()
+	c := New()
+	if _, err := c.Run(sim.PublicA53(), testTrace(t, "MD")); err != nil {
 		t.Fatal(err)
 	}
-	f.Format = 99
-	rewritten, err := json.Marshal(f)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := c.SaveFileJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, rewritten, 0o644); err != nil {
+	return path, data
+}
+
+func TestLoadFileStaleFormatIsTypedCondition(t *testing.T) {
+	// Binary snapshot from a future format generation: bump the version
+	// word in the header.
+	path, data := seededSnapshot(t)
+	future := append([]byte(nil), data...)
+	future[4], future[5], future[6], future[7] = 99, 0, 0, 0
+	if err := os.WriteFile(path, future, 0o644); err != nil {
 		t.Fatal(err)
 	}
-
 	c := New()
 	n, err := c.LoadFile(path)
 	var stale *StaleFormatError
 	if !errors.As(err, &stale) {
-		t.Fatalf("stale snapshot load error = %v, want a *StaleFormatError", err)
+		t.Fatalf("stale binary snapshot load error = %v, want a *StaleFormatError", err)
 	}
 	if stale.Path != path || stale.Format != 99 {
 		t.Errorf("stale error carries %q format %d, want %q format 99", stale.Path, stale.Format, path)
@@ -61,10 +73,31 @@ func TestLoadFileStaleFormatIsTypedCondition(t *testing.T) {
 	if _, _, err := c.LoadChecked(path); !errors.As(err, &stale) {
 		t.Errorf("LoadChecked stale error = %v, want *StaleFormatError", err)
 	}
+
+	// Same condition for a legacy JSON snapshot declaring a future format.
+	jpath, jdata := seededJSONSnapshot(t)
+	var f file
+	if err := json.Unmarshal(jdata, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Format = 99
+	rewritten, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().LoadFile(jpath); !errors.As(err, &stale) {
+		t.Errorf("stale JSON snapshot load error = %v, want *StaleFormatError", err)
+	}
 }
 
 func TestLoadFileTruncatedSnapshotErrors(t *testing.T) {
-	path, data := seededSnapshot(t)
+	// A truncated legacy JSON snapshot is unparseable and errors, naming
+	// the file. (Truncated *binary* snapshots salvage instead — see
+	// adversity_test.go.)
+	path, data := seededJSONSnapshot(t)
 	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -91,16 +124,18 @@ func TestLoadFileGarbageSnapshotErrors(t *testing.T) {
 }
 
 func TestLoadFileCorruptedEntryRejectedCounted(t *testing.T) {
-	path, data := seededSnapshot(t)
-	poisoned, err := PoisonSnapshot(data)
+	// JSON snapshots verify eagerly: the poisoned entry is rejected and
+	// counted at load time.
+	jpath, jdata := seededJSONSnapshot(t)
+	poisoned, err := PoisonSnapshot(jdata)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
+	if err := os.WriteFile(jpath, poisoned, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	c := New()
-	accepted, rejected, err := c.LoadChecked(path)
+	accepted, rejected, err := c.LoadChecked(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +144,36 @@ func TestLoadFileCorruptedEntryRejectedCounted(t *testing.T) {
 	}
 	if accepted != 0 {
 		t.Errorf("the poisoned entry was accepted (%d)", accepted)
+	}
+
+	// Binary snapshots verify lazily: attach indexes the record, and the
+	// corruption surfaces as a rejection (plus a re-simulation) on first
+	// touch.
+	bpath, bdata := seededSnapshot(t)
+	bpoisoned, err := PoisonSnapshot(bdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bpath, bpoisoned, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cb := New()
+	if _, _, err := cb.LoadChecked(bpath); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.PublicA53().Run(testTrace(t, "MD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.Run(sim.PublicA53(), testTrace(t, "MD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("poisoned record served a wrong result instead of re-simulating")
+	}
+	if st := cb.Stats(); st.Rejected != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats after touching poisoned record = %+v, want 1 rejected, 1 miss", st)
 	}
 }
 

@@ -1,0 +1,262 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+
+	"racesim/internal/core"
+)
+
+// Mapped is the mmap-backed read path over a binary snapshot: Open maps
+// the file and parses only the fixed-width index, so cold start is
+// O(index) — a process sweeping 12 configs against a 10k-entry cache
+// never decodes the other entries. Lookups binary-search the index,
+// verify the candidate record's stored key (hash collisions are legal),
+// and materialize a core.Result only on Get; the per-record checksum is
+// re-proved at that moment, so a flipped byte on disk rejects exactly
+// the record it hit.
+//
+// A Mapped is immutable after Open and safe for concurrent readers
+// without locking — every method reads the mapping and the index, never
+// writes. SaveFile renaming a new snapshot over the mapped path is also
+// safe: the old inode stays mapped until Close.
+type Mapped struct {
+	path    string
+	data    []byte
+	mapped  bool // munmap needed on Close
+	version uint32
+	index   []idxEntry // sorted by (hash, offset)
+	salvage bool       // index was rebuilt by a record scan
+}
+
+// OpenMapped maps the binary snapshot at path. A file whose footer or
+// index is damaged (torn tail, truncation) is salvaged by a sequential
+// record scan that stops at the first corrupt record — the snapshot
+// yields every record written before the damage. A file that is not a
+// binary snapshot at all returns an error; callers sniff the format
+// first.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := int(info.Size())
+	if size < headerSize {
+		return nil, fmt.Errorf("simcache: %s: too small for a binary snapshot (%d bytes)", path, size)
+	}
+	data, mapped, err := mapFile(f, size)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapped{path: path, data: data, mapped: mapped}
+	if !IsBinarySnapshot(data) {
+		m.Close()
+		return nil, fmt.Errorf("simcache: %s: not a binary snapshot", path)
+	}
+	m.version = binary.LittleEndian.Uint32(data[4:8])
+	if m.version != binVersion {
+		v := m.version
+		m.Close()
+		return nil, &StaleFormatError{Path: path, Format: int(v)}
+	}
+	if !m.loadIndex() {
+		m.salvage = true
+		m.index = salvageScan(data)
+	}
+	return m, nil
+}
+
+// loadIndex parses the footer and index, verifying the index checksum
+// and that every entry points inside the record region. Any failure
+// reports false and the caller falls back to a salvage scan.
+func (m *Mapped) loadIndex() bool {
+	data := m.data
+	if len(data) < headerSize+footerSize {
+		return false
+	}
+	ftr := data[len(data)-footerSize:]
+	if [4]byte(ftr[28:32]) != footerMagic {
+		return false
+	}
+	indexOff := binary.LittleEndian.Uint64(ftr[0:8])
+	count := binary.LittleEndian.Uint64(ftr[8:16])
+	indexEnd := uint64(len(data) - footerSize)
+	if indexOff < headerSize || indexOff >= indexEnd {
+		return false
+	}
+	if indexEnd-indexOff != 1+count*indexEntrySize {
+		return false
+	}
+	if data[indexOff] != indexMarker {
+		return false
+	}
+	sum := sha256.Sum256(data[indexOff:indexEnd])
+	if [8]byte(ftr[16:24]) != [8]byte(sum[:8]) {
+		return false
+	}
+	index := make([]idxEntry, count)
+	p := indexOff + 1
+	for i := range index {
+		index[i].hash = binary.LittleEndian.Uint64(data[p : p+8])
+		index[i].off = binary.LittleEndian.Uint64(data[p+8 : p+16])
+		index[i].size = binary.LittleEndian.Uint32(data[p+16 : p+20])
+		e := &index[i]
+		if e.off < headerSize || e.off+uint64(e.size) > indexOff {
+			return false
+		}
+		if i > 0 && (index[i-1].hash > e.hash ||
+			(index[i-1].hash == e.hash && index[i-1].off > e.off)) {
+			return false
+		}
+		p += indexEntrySize
+	}
+	m.index = index
+	return true
+}
+
+// salvageScan rebuilds an index by walking records from the header
+// forward, stopping at the first byte that does not parse as a record —
+// the recovery path for truncated files and torn index tails. Checksum
+// verification stays lazy (Get), matching the indexed path.
+func salvageScan(data []byte) []idxEntry {
+	var index []idxEntry
+	off := headerSize
+	for off < len(data) && data[off] == recordMarker {
+		r, err := parseRecord(data[off:])
+		if err != nil {
+			break
+		}
+		index = append(index, idxEntry{hash: keyHash(r.key), off: uint64(off), size: uint32(r.size)})
+		off += r.size
+	}
+	sort.Slice(index, func(i, j int) bool {
+		if index[i].hash != index[j].hash {
+			return index[i].hash < index[j].hash
+		}
+		return index[i].off < index[j].off
+	})
+	return index
+}
+
+// find locates the record for key, parsing only same-hash candidates.
+func (m *Mapped) find(key string) (record, bool) {
+	h := keyHash(key)
+	i := sort.Search(len(m.index), func(i int) bool { return m.index[i].hash >= h })
+	for ; i < len(m.index) && m.index[i].hash == h; i++ {
+		e := m.index[i]
+		r, err := parseRecord(m.data[e.off : e.off+uint64(e.size)])
+		if err != nil {
+			continue
+		}
+		if r.key == key {
+			return r, true
+		}
+	}
+	return record{}, false
+}
+
+// Has reports whether a record for key exists, without decoding or
+// checksum-verifying it.
+func (m *Mapped) Has(key string) bool {
+	if m == nil {
+		return false
+	}
+	_, ok := m.find(key)
+	return ok
+}
+
+// Get materializes the result for key, verifying the record's checksum.
+// A missing key and a corrupt record are both errors; callers that care
+// about the difference use Has first.
+func (m *Mapped) Get(key string) (core.Result, error) {
+	if m == nil {
+		return core.Result{}, fmt.Errorf("simcache: no mapped snapshot")
+	}
+	r, ok := m.find(key)
+	if !ok {
+		return core.Result{}, fmt.Errorf("simcache: %s: no record for key", m.path)
+	}
+	return r.decode()
+}
+
+// RangeKeys calls f for every indexed record's key and encoded size,
+// in index (hash) order, until f returns false. Keys are parsed but
+// results are not decoded.
+func (m *Mapped) RangeKeys(f func(key string, size int) bool) {
+	if m == nil {
+		return
+	}
+	for _, e := range m.index {
+		r, err := parseRecord(m.data[e.off : e.off+uint64(e.size)])
+		if err != nil {
+			continue
+		}
+		if !f(r.key, r.size) {
+			return
+		}
+	}
+}
+
+// Count returns the number of indexed records.
+func (m *Mapped) Count() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.index)
+}
+
+// Version returns the snapshot's format version.
+func (m *Mapped) Version() uint32 {
+	if m == nil {
+		return 0
+	}
+	return m.version
+}
+
+// IndexBytes returns the on-disk size of the index section.
+func (m *Mapped) IndexBytes() int {
+	if m == nil {
+		return 0
+	}
+	return 1 + len(m.index)*indexEntrySize
+}
+
+// SizeBytes returns the mapped file size.
+func (m *Mapped) SizeBytes() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.data)
+}
+
+// Salvaged reports whether the index was rebuilt by a record scan
+// because the footer or index section was damaged.
+func (m *Mapped) Salvaged() bool {
+	return m != nil && m.salvage
+}
+
+// Path returns the snapshot path this mapping was opened from.
+func (m *Mapped) Path() string {
+	if m == nil {
+		return ""
+	}
+	return m.path
+}
+
+// Close unmaps the file. The Mapped must not be used afterwards.
+func (m *Mapped) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data, mapped := m.data, m.mapped
+	m.data, m.index = nil, nil
+	return unmapFile(data, mapped)
+}

@@ -63,20 +63,19 @@ func TestLoadBytesRejectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Binary snapshot poisoned in transit: the record's key-binding
+	// checksum no longer proves, so the merge drops exactly that record.
 	data, err := src.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip the cycle count without refreshing the checksum, as corruption
-	// in transit would. The snapshot stays valid JSON; only the entry's
-	// key binding is broken.
-	old := `"Cycles": ` + strconv.FormatUint(res.Cycles, 10)
-	mutated := strings.Replace(string(data), old, `"Cycles": `+strconv.FormatUint(res.Cycles+1, 10), 1)
-	if mutated == string(data) {
-		t.Fatalf("could not find %q in snapshot to poison", old)
+	poisoned, err := PoisonSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
 	}
 	dst := New()
-	added, _, err := dst.LoadBytes([]byte(mutated))
+	added, _, err := dst.LoadBytes(poisoned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +86,27 @@ func TestLoadBytesRejectsCorruption(t *testing.T) {
 		t.Errorf("stats = %+v, want 1 rejected, 0 entries", st)
 	}
 
+	// Legacy JSON snapshot with the cycle count flipped but the checksum
+	// left stale, as corruption in transit would. The snapshot stays
+	// valid JSON; only the entry's key binding is broken.
+	jdata, err := src.MarshalLegacyJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := `"Cycles": ` + strconv.FormatUint(res.Cycles, 10)
+	mutated := strings.Replace(string(jdata), old, `"Cycles": `+strconv.FormatUint(res.Cycles+1, 10), 1)
+	if mutated == string(jdata) {
+		t.Fatalf("could not find %q in snapshot to poison", old)
+	}
+	if added, _, err := dst.LoadBytes([]byte(mutated)); err != nil || added != 0 {
+		t.Errorf("poisoned JSON entry: added %d err %v, want 0, nil", added, err)
+	}
+	if st := dst.Stats(); st.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", st.Rejected)
+	}
+
 	// Garbage and wrong-format snapshots are hard errors, not silent colds:
-	// federation peers must speak the current format.
+	// federation peers must speak a known format.
 	if _, _, err := dst.LoadBytes([]byte("not json")); err == nil {
 		t.Error("garbage snapshot accepted")
 	}
@@ -146,5 +164,55 @@ func TestMarshalFilteredDelta(t *testing.T) {
 		if baseline[k] {
 			t.Errorf("delta leaked baseline key %s", k)
 		}
+	}
+}
+
+// TestMergeMixedFormats proves merge is format-blind: a cache holding
+// entries loaded from a legacy JSON snapshot and one holding entries
+// from a binary snapshot merge with the same last-writer-wins semantics
+// as same-format merges, and the merged cache marshals identically to a
+// cache built directly from the union.
+func TestMergeMixedFormats(t *testing.T) {
+	jsonSide := New()
+	populate(t, jsonSide, "MD", "CS1")
+	binSide := New()
+	populate(t, binSide, "CS1", "MIP") // CS1 overlaps: exercised as LWW replace
+
+	jsonBytes, err := jsonSide.MarshalLegacyJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBytes, err := binSide.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := New()
+	if added, replaced, err := merged.LoadBytes(jsonBytes); err != nil || added != 2 || replaced != 0 {
+		t.Fatalf("json load = (%d, %d, %v), want (2, 0, nil)", added, replaced, err)
+	}
+	if added, replaced, err := merged.LoadBytes(binBytes); err != nil || added != 1 || replaced != 1 {
+		t.Fatalf("binary load = (%d, %d, %v), want (1, 1, nil)", added, replaced, err)
+	}
+	if got := merged.Stats().Entries; got != 3 {
+		t.Errorf("merged entries = %d, want 3", got)
+	}
+	if got := merged.Stats().Rejected; got != 0 {
+		t.Errorf("mixed merge rejected %d entries, want 0", got)
+	}
+
+	// The union built in one cache marshals to the same bytes.
+	direct := New()
+	populate(t, direct, "MD", "CS1", "MIP")
+	wantBytes, err := direct.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := merged.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Error("mixed-format merge marshals differently from a directly built cache")
 	}
 }

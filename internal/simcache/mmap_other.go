@@ -1,0 +1,19 @@
+//go:build !unix
+
+package simcache
+
+import "os"
+
+// Non-unix fallback: read the file into the heap. Semantics match the
+// mmap path exactly; only cold-open cost differs.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmapFile(data []byte, mapped bool) error {
+	return nil
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package simcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps a file read-only. On mmap failure (exotic filesystems,
+// resource limits) it falls back to reading the file into the heap —
+// callers never see the difference beyond cold-open cost. The returned
+// bool reports whether unmapFile must munmap.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return data, true, nil
+	}
+	buf := make([]byte, size)
+	if _, rerr := f.ReadAt(buf, 0); rerr != nil {
+		return nil, false, rerr
+	}
+	return buf, false, nil
+}
+
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -6,15 +6,27 @@
 // experiment runner, the irace evaluator, the perturbation study — gets
 // the stored core.Result back instead of re-running the timing model.
 //
+// The cache is a storage tier with up to three levels, consulted in
+// order:
+//
+//   - memory: materialized results under an LRU with an optional byte
+//     budget (SetMemoryBudget), so a long-lived serve process stays
+//     bounded;
+//   - disk: an mmap-backed binary snapshot attached by LoadFile/
+//     LoadChecked — lookups resolve through its index and decode one
+//     record on first touch, never the whole file (disk hits count as
+//     hits);
+//   - remote: an optional shared tier (SetRemote) queried on true
+//     misses before simulating, with results offered back
+//     asynchronously (remote hits are counted separately — they cost a
+//     round-trip, not a simulation).
+//
 // The cache is safe for concurrent use and deduplicates in-flight work:
-// when two workers ask for the same unit simultaneously, one simulates and
-// the other blocks on the first result (singleflight). An optional
-// JSON-on-disk snapshot (LoadFile/SaveFile) makes repeated `racesim
-// experiments` runs warm across processes — and a `racesim serve` process
-// holds one cache hot across every job it executes, no snapshot reload
-// between requests; every persisted entry carries a checksum
-// binding it to its key, so a corrupted or hand-edited entry is rejected
-// on load rather than silently poisoning experiments.
+// when two workers ask for the same unit simultaneously, one resolves
+// (disk, remote, or simulate) and the other blocks on the first result
+// (singleflight). Every persisted entry carries a checksum binding it
+// to its key, so a corrupted or hand-edited record is rejected on first
+// touch rather than silently poisoning experiments.
 //
 // All methods are nil-receiver safe: a nil *Cache simply simulates every
 // request, which lets callers thread "maybe a cache" through options
@@ -22,6 +34,8 @@
 package simcache
 
 import (
+	"container/list"
+	"reflect"
 	"sync"
 
 	"racesim/internal/core"
@@ -38,51 +52,196 @@ func Key(cfg sim.Config, tr *trace.Trace) string {
 // Stats is a point-in-time snapshot of cache effectiveness. The JSON
 // field names are part of the serve HTTP API (job results, /healthz).
 type Stats struct {
-	Hits     uint64 `json:"hits"`     // Run calls answered from memory
-	Misses   uint64 `json:"misses"`   // Run calls that simulated
-	Shared   uint64 `json:"shared"`   // Run calls that waited on an identical in-flight run
-	Entries  int    `json:"entries"`  // distinct results currently stored
-	Rejected uint64 `json:"rejected"` // persisted entries dropped by checksum mismatch
+	Hits        uint64 `json:"hits"`         // Run calls answered from memory or the attached disk tier
+	Misses      uint64 `json:"misses"`       // Run calls that simulated
+	Shared      uint64 `json:"shared"`       // Run calls that waited on an identical in-flight run
+	RemoteHits  uint64 `json:"remote_hits"`  // Run calls answered by the shared remote tier
+	Entries     int    `json:"entries"`      // distinct servable results (memory + unshadowed disk records)
+	MemEntries  int    `json:"mem_entries"`  // results materialized in memory
+	DiskEntries int    `json:"disk_entries"` // records indexed in the attached disk tier
+	Rejected    uint64 `json:"rejected"`     // persisted entries dropped by checksum mismatch
+	Evicted     uint64 `json:"evicted"`      // entries dropped by the memory budget
 }
 
-// HitRate returns (hits+shared)/(hits+misses+shared) — waiting on an
-// identical in-flight run counts as a hit — or 0 before any lookups.
+// HitRate returns the fraction of lookups that avoided simulating —
+// memory/disk hits, shared in-flight waits, and remote-tier hits — or 0
+// before any lookups.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses + s.Shared
+	total := s.Hits + s.Misses + s.Shared + s.RemoteHits
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.Shared) / float64(total)
+	return float64(s.Hits+s.Shared+s.RemoteHits) / float64(total)
 }
 
-// inflight tracks one simulation in progress so duplicates can wait on it.
+// Resolver is a shared remote cache tier. Lookup is synchronous and
+// consulted on a true miss (memory and disk both cold) before
+// simulating; Offer asynchronously publishes a locally computed result
+// so other workers' Lookups can hit it mid-run. Implementations must be
+// safe for concurrent use.
+type Resolver interface {
+	Lookup(key string) (core.Result, bool)
+	Offer(key string, res core.Result)
+}
+
+// inflight tracks one resolution in progress so duplicates can wait on it.
 type inflight struct {
 	done chan struct{}
 	res  core.Result
 	err  error
 }
 
+// centry is one materialized result plus its LRU position.
+type centry struct {
+	res  core.Result
+	elem *list.Element // value is the key string
+}
+
+// resultMemSize is the in-memory footprint of one core.Result (all
+// uint64 fields, no pointers), computed once.
+var resultMemSize = int64(reflect.TypeOf(core.Result{}).Size())
+
+// entryMemSize estimates the memory held by one cache entry: the
+// result, the key string, and map/list bookkeeping overhead.
+func entryMemSize(key string) int64 {
+	const overhead = 128
+	return resultMemSize + int64(len(key)) + overhead
+}
+
 // Cache memoizes core.Results by simulation-unit key.
 type Cache struct {
 	mu       sync.Mutex
-	entries  map[string]core.Result
+	entries  map[string]*centry
+	lru      *list.List // front = most recent
+	budget   int64      // max memory bytes; 0 = unlimited
+	memUsed  int64
+	disk     *Mapped  // attached binary snapshot, or nil
+	shadowed int      // memory keys that also exist on disk (for Entries)
+	remote   Resolver // shared cluster tier, or nil
 	running  map[string]*inflight
 	hits     uint64
 	misses   uint64
 	shared   uint64
+	remoteHt uint64
 	rejected uint64
+	evicted  uint64
 }
 
 // New returns an empty in-memory cache.
 func New() *Cache {
 	return &Cache{
-		entries: make(map[string]core.Result),
+		entries: make(map[string]*centry),
+		lru:     list.New(),
 		running: make(map[string]*inflight),
 	}
 }
 
-// Run returns the memoized result for (cfg, tr), simulating on first use.
-// A nil receiver runs the simulation directly.
+// SetMemoryBudget bounds the materialized (in-memory) tier to roughly
+// budget bytes; least-recently-used entries are evicted past it. An
+// evicted entry that the disk or remote tier also holds costs a
+// re-materialization on next touch; one held nowhere else is lost from
+// future snapshots. Zero means unlimited (the default).
+func (c *Cache) SetMemoryBudget(budget int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.budget = budget
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// SetRemote attaches a shared remote tier consulted on true misses.
+func (c *Cache) SetRemote(r Resolver) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.remote = r
+	c.mu.Unlock()
+}
+
+// OnDisk reports whether the attached disk tier indexes key (without
+// decoding or verifying the record). False when no tier is attached.
+func (c *Cache) OnDisk(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	return disk.Has(key)
+}
+
+// insertLocked stores res under key (last-writer-wins) and applies the
+// memory budget. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, res core.Result) (replaced bool) {
+	if ce, ok := c.entries[key]; ok {
+		ce.res = res
+		c.lru.MoveToFront(ce.elem)
+		return true
+	}
+	ce := &centry{res: res, elem: c.lru.PushFront(key)}
+	c.entries[key] = ce
+	c.memUsed += entryMemSize(key)
+	if c.disk.Has(key) {
+		c.shadowed++
+	}
+	c.evictLocked()
+	return false
+}
+
+// evictLocked drops LRU entries until the memory budget is met,
+// preferring entries the disk tier can re-materialize. Caller holds
+// c.mu.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 || c.memUsed <= c.budget {
+		return
+	}
+	// First pass: evict disk-backed entries (lossless — the record is
+	// still on disk). Second pass: evict anything; the budget is a hard
+	// bound.
+	for pass := 0; pass < 2 && c.memUsed > c.budget; pass++ {
+		var next *list.Element
+		for e := c.lru.Back(); e != nil && c.memUsed > c.budget; e = next {
+			next = e.Prev()
+			key := e.Value.(string)
+			if pass == 0 && !c.disk.Has(key) {
+				continue
+			}
+			c.lru.Remove(e)
+			delete(c.entries, key)
+			c.memUsed -= entryMemSize(key)
+			if c.disk.Has(key) {
+				c.shadowed--
+			}
+			c.evicted++
+		}
+	}
+}
+
+// touchLocked records a hit on key's entry. Caller holds c.mu.
+func (c *Cache) touchLocked(ce *centry) {
+	c.lru.MoveToFront(ce.elem)
+}
+
+// Store inserts a result under key with last-writer-wins semantics,
+// reporting whether an existing entry was replaced. It is the merge
+// primitive used by snapshot loading and the remote tier's PUT handler;
+// it does not touch the hit/miss counters.
+func (c *Cache) Store(key string, res core.Result) (replaced bool) {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(key, res)
+}
+
+// Run returns the memoized result for (cfg, tr), resolving through the
+// tiers — memory, attached disk snapshot, shared remote tier — and
+// simulating only when all are cold. A nil receiver runs the simulation
+// directly.
 func (c *Cache) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
 	if c == nil {
 		return cfg.Run(tr)
@@ -90,8 +249,10 @@ func (c *Cache) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
 	key := Key(cfg, tr)
 
 	c.mu.Lock()
-	if res, ok := c.entries[key]; ok {
+	if ce, ok := c.entries[key]; ok {
 		c.hits++
+		c.touchLocked(ce)
+		res := ce.res
 		c.mu.Unlock()
 		return res, nil
 	}
@@ -103,30 +264,102 @@ func (c *Cache) Run(cfg sim.Config, tr *trace.Trace) (core.Result, error) {
 	}
 	fl := &inflight{done: make(chan struct{})}
 	c.running[key] = fl
-	c.misses++
+	disk, remote := c.disk, c.remote
 	c.mu.Unlock()
 
-	fl.res, fl.err = cfg.Run(tr)
+	// Owner path: disk tier, then remote tier, then simulate. The
+	// inflight claim means concurrent identical requests wait on this
+	// resolution whichever tier answers it.
+	if disk.Has(key) {
+		if res, err := disk.Get(key); err == nil {
+			c.finish(key, fl, res, nil, &c.hits)
+			return res, nil
+		}
+		// The record is present but corrupt: reject it and fall through
+		// to the remaining tiers.
+		c.countRejected()
+	}
+	if remote != nil {
+		if res, ok := remote.Lookup(key); ok {
+			c.finish(key, fl, res, nil, &c.remoteHt)
+			return res, nil
+		}
+	}
 
+	res, err := cfg.Run(tr)
+	c.finish(key, fl, res, err, &c.misses)
+	if err == nil && remote != nil {
+		remote.Offer(key, res)
+	}
+	return res, err
+}
+
+// finish resolves an inflight claim: bump the tier's counter, store the
+// result, release waiters.
+func (c *Cache) finish(key string, fl *inflight, res core.Result, err error, counter *uint64) {
+	fl.res, fl.err = res, err
 	c.mu.Lock()
-	if fl.err == nil {
-		c.entries[key] = fl.res
+	*counter++
+	if err == nil {
+		c.insertLocked(key, res)
 	}
 	delete(c.running, key)
 	c.mu.Unlock()
 	close(fl.done)
-	return fl.res, fl.err
 }
 
-// Get looks up a stored result without simulating.
+// Get looks up a stored result without simulating or touching the
+// remote tier; a disk-tier record is materialized (and counts as a
+// normal entry) on success.
 func (c *Cache) Get(cfg sim.Config, tr *trace.Trace) (core.Result, bool) {
 	if c == nil {
 		return core.Result{}, false
 	}
+	key := Key(cfg, tr)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	res, ok := c.entries[Key(cfg, tr)]
-	return res, ok
+	if ce, ok := c.entries[key]; ok {
+		c.touchLocked(ce)
+		res := ce.res
+		c.mu.Unlock()
+		return res, true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk.Has(key) {
+		if res, err := disk.Get(key); err == nil {
+			c.Store(key, res)
+			return res, true
+		}
+		c.countRejected()
+	}
+	return core.Result{}, false
+}
+
+// Peek looks up key across the memory and disk tiers without touching
+// the remote tier or the hit/miss counters — the cache-server side of a
+// GET /v1/cache/entry/{key}: a server answering peers must not inflate
+// its own effectiveness stats or chain lookups to further upstreams.
+func (c *Cache) Peek(key string) (core.Result, bool) {
+	if c == nil {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	if ce, ok := c.entries[key]; ok {
+		c.touchLocked(ce)
+		res := ce.res
+		c.mu.Unlock()
+		return res, true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk.Has(key) {
+		if res, err := disk.Get(key); err == nil {
+			c.Store(key, res)
+			return res, true
+		}
+		c.countRejected()
+	}
+	return core.Result{}, false
 }
 
 // Stats snapshots the counters. Safe on a nil receiver.
@@ -137,10 +370,38 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Shared:   c.shared,
-		Entries:  len(c.entries),
-		Rejected: c.rejected,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Shared:      c.shared,
+		RemoteHits:  c.remoteHt,
+		Entries:     len(c.entries) + c.disk.Count() - c.shadowed,
+		MemEntries:  len(c.entries),
+		DiskEntries: c.disk.Count(),
+		Rejected:    c.rejected,
+		Evicted:     c.evicted,
 	}
+}
+
+// Disk returns the attached mmap-backed snapshot tier, or nil.
+func (c *Cache) Disk() *Mapped {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
+
+// Close detaches and unmaps the disk tier, if any. The cache itself
+// remains usable (memory tier only).
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	disk := c.disk
+	c.disk = nil
+	c.shadowed = 0
+	c.mu.Unlock()
+	return disk.Close()
 }

@@ -175,7 +175,10 @@ func TestPoisonedEntryRejectedByChecksum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.SaveFile(path); err != nil {
+	// The legacy JSON format verifies eagerly at load; the binary
+	// format's lazy equivalent is covered in disk_test.go and
+	// adversity_test.go.
+	if err := c1.SaveFileJSON(path); err != nil {
 		t.Fatal(err)
 	}
 
