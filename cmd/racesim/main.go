@@ -40,6 +40,7 @@ import (
 	"racesim/internal/chaos"
 	"racesim/internal/engine"
 	"racesim/internal/simcache"
+	"racesim/internal/version"
 )
 
 func usage() {
@@ -54,6 +55,7 @@ subcommands:
   sweep        distribute a scenario sweep across serve workers (see docs/distributed.md)
   cache        inspect or merge simulation-cache snapshots
   gate         check committed BENCH_*.json results against regression thresholds
+  version      print the build's version, go toolchain and commit
 
 Run "racesim <subcommand> -h" for the subcommand's flags.
 Bare flags ("racesim -preset ...") are shorthand for "racesim run".
@@ -97,6 +99,9 @@ func main() {
 		err = cmdCache(args)
 	case "gate":
 		err = cmdGate(args)
+	case "version":
+		fmt.Println(version.Get().String())
+		return
 	case "help":
 		usage()
 		return
@@ -309,12 +314,13 @@ func cmdServe(args []string) error {
 		MemoryBudget:  *memBudget << 20,
 		Log:           logf,
 	}
+	var inj *chaos.Injector
 	if *chaosSpec != "" {
 		spec, err := chaos.Parse(*chaosSpec)
 		if err != nil {
 			return err
 		}
-		inj := chaos.New(spec)
+		inj = chaos.New(spec)
 		opts.FaultHook = inj.JobFault
 		opts.SnapshotHook = func(data []byte) ([]byte, error) {
 			return inj.MutateSnapshot(data, simcache.PoisonSnapshot), nil
@@ -324,6 +330,11 @@ func cmdServe(args []string) error {
 	srv, err := engine.NewServer(opts)
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		// Fired-fault tallies land on this process's /metrics, so a chaos
+		// smoke can prove mid-run that faults actually fired.
+		chaos.RegisterMetrics(srv.Metrics(), inj)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

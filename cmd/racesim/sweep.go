@@ -13,6 +13,7 @@ import (
 
 	"racesim/internal/chaos"
 	"racesim/internal/cluster"
+	"racesim/internal/telemetry"
 )
 
 // cmdSweep is the distributed counterpart of `racesim experiments`: it
@@ -41,6 +42,7 @@ func cmdSweep(args []string) error {
 		workerChaos = fs.String("worker-chaos", "", "forward a -chaos spec to every -spawn worker (engine-side faults: panic=N,stall=N,poison=N)")
 		journal     = fs.String("journal", "", "journal completed units to this file (fsynced JSONL; enables crash resume)")
 		resumeJnl   = fs.Bool("resume-journal", false, "replay the -journal file before dispatching: only unfinished units re-run")
+		traceOut    = fs.String("trace-out", "", "write the sweep's flight recorder (one span per JSONL line) to this file; see docs/observability.md")
 	)
 	fs.Parse(args)
 
@@ -87,6 +89,19 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("no workers: pass -workers URLs and/or -spawn N")
 	}
 
+	// Flight recorder: a root "sweep" span over the whole run; cluster.Run
+	// parents one unit span per completed unit under it and folds in each
+	// worker's job/engine spans collected from job results.
+	var rec *telemetry.Recorder
+	var root *telemetry.ActiveSpan
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder()
+		root = rec.StartSpan("sweep", telemetry.SpanContext{}, map[string]string{
+			"scenario": *scenarioPat,
+			"workers":  fmt.Sprint(len(urls)),
+		})
+	}
+
 	output, rep, err := cluster.Run(context.Background(), cluster.Options{
 		Workers:       urls,
 		Window:        *window,
@@ -102,13 +117,35 @@ func cmdSweep(args []string) error {
 		Budget1:       *budget1,
 		Budget2:       *budget2,
 		Seed:          *seed,
+		Trace:         traceContext(root),
+		Recorder:      rec,
 		Log:           logf,
 	})
 	if inj != nil {
 		logf("sweep: chaos injected: %s", inj.Counts())
 	}
+	if root != nil {
+		// The root span closes even on a failed sweep: a flight recorder
+		// that stops at the failure is exactly what you want to read.
+		root.SetAttr("units", fmt.Sprint(rep.Units))
+		root.End()
+		if werr := writeTrace(*traceOut, rec); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				logf("sweep: %v", werr)
+			}
+		} else {
+			logf("sweep: wrote flight recorder to %s", *traceOut)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if n := len(rep.UnitDurations); n > 0 {
+		p := telemetry.Percentiles(rep.UnitDurations, 0.50, 0.90, 0.99)
+		logf("sweep: unit latency over %d units: p50 %v, p90 %v, p99 %v",
+			n, p[0].Round(time.Millisecond), p[1].Round(time.Millisecond), p[2].Round(time.Millisecond))
 	}
 	fmt.Print(output)
 	if *out != "" {
@@ -125,6 +162,36 @@ func cmdSweep(args []string) error {
 			rep.Reassigned, strings.Join(rep.Dead, ", "))
 	}
 	return nil
+}
+
+// traceContext extracts the span context to parent the sweep's unit
+// spans under; a nil root (tracing off) yields the zero context, which
+// cluster.Run treats as "don't trace".
+func traceContext(root *telemetry.ActiveSpan) telemetry.SpanContext {
+	if root == nil {
+		return telemetry.SpanContext{}
+	}
+	return root.Context()
+}
+
+// writeTrace persists the flight recorder atomically (temp + rename),
+// so a crash mid-write never leaves a torn JSONL behind.
+func writeTrace(path string, rec *telemetry.Recorder) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // spawnWorkers forks n local `racesim serve` processes on ephemeral

@@ -1,0 +1,34 @@
+package chaos
+
+import "racesim/internal/telemetry"
+
+// RegisterMetrics exposes the injector's fired-fault counters on reg as
+// racesim_chaos_faults_total{kind=...} — collectors over Counts(), so a
+// /metrics scrape always shows the current tallies without the fault
+// paths touching the registry. Safe to call with a nil injector (every
+// series reads zero), so a serve role can register unconditionally.
+func RegisterMetrics(reg *telemetry.Registry, inj *Injector) {
+	if reg == nil {
+		return
+	}
+	kinds := []struct {
+		kind string
+		get  func(Counts) int
+	}{
+		{"dropped", func(c Counts) int { return c.Dropped }},
+		{"delayed", func(c Counts) int { return c.Delayed }},
+		{"failed", func(c Counts) int { return c.Failed }},
+		{"truncated", func(c Counts) int { return c.Truncated }},
+		{"corrupted", func(c Counts) int { return c.Corrupted }},
+		{"panics", func(c Counts) int { return c.Panics }},
+		{"stalls", func(c Counts) int { return c.Stalls }},
+		{"poisoned", func(c Counts) int { return c.Poisoned }},
+	}
+	for _, k := range kinds {
+		get := k.get
+		reg.CounterFunc("racesim_chaos_faults_total",
+			"Injected faults that actually fired, by kind.",
+			func() float64 { return float64(get(inj.Counts())) },
+			telemetry.L("kind", k.kind))
+	}
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"racesim/internal/telemetry"
+)
+
+func TestRegisterMetricsReportsFiredFaults(t *testing.T) {
+	// panic=2: the second JobFault call panics. The collectors must
+	// track Counts() live.
+	spec, err := Parse("seed=7,panic=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(spec)
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, inj)
+
+	render := func() string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if text := render(); !strings.Contains(text, `racesim_chaos_faults_total{kind="panics"} 0`) {
+		t.Fatalf("pre-fault scrape missing zero panics series:\n%s", text)
+	}
+
+	fired := 0
+	for i := 0; i < 4; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			inj.JobFault(context.Background())
+		}()
+	}
+	if fired != 1 {
+		t.Fatalf("panic=2 fired %d times, want once (on the second call)", fired)
+	}
+	text := render()
+	if !strings.Contains(text, `racesim_chaos_faults_total{kind="panics"} 1`) {
+		t.Errorf("scrape does not reflect fired panics:\n%s", text)
+	}
+	if err := telemetry.ValidatePrometheus(text); err != nil {
+		t.Errorf("chaos exposition invalid: %v", err)
+	}
+}
+
+func TestRegisterMetricsNilInjector(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, nil) // must not panic; series read zero
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `racesim_chaos_faults_total{kind="dropped"} 0`) {
+		t.Errorf("nil injector series missing:\n%s", b.String())
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"racesim/internal/engine"
 	"racesim/internal/scenario"
 	"racesim/internal/simcache"
+	"racesim/internal/telemetry"
 )
 
 // Options configures one coordinated sweep.
@@ -112,6 +113,20 @@ type Options struct {
 	// transport — the chaos injector's network attach point.
 	Transport http.RoundTripper
 
+	// Trace, when valid, parents one "unit" span per completed unit
+	// under it; each dispatch attempt propagates a fresh span context to
+	// its worker over X-Racesim-Trace, and the worker's own job/engine
+	// spans come back inside the job result. Unit spans are recorded only
+	// for the attempt that succeeded, so the flight recorder covers every
+	// unit exactly once regardless of retries.
+	Trace telemetry.SpanContext
+	// Recorder receives the sweep's spans (the flight recorder); nil
+	// discards them. Tracing requires both Trace and Recorder.
+	Recorder *telemetry.Recorder
+	// Metrics, when non-nil, receives the coordinator's scheduling
+	// counters (racesim_sweep_*). Nil disables them.
+	Metrics *telemetry.Registry
+
 	// Scenario is the selection (comma-separated names/globs, "all" =
 	// paper set) — the same selector `racesim experiments -scenario`
 	// takes.
@@ -151,6 +166,10 @@ type Report struct {
 	// checksum.
 	MergedEntries    int
 	SnapshotRejected uint64
+	// UnitDurations holds the dispatch-to-completion wall time of every
+	// unit executed this round (resumed units excluded), in completion
+	// order — the input for end-of-sweep latency percentiles.
+	UnitDurations []time.Duration
 }
 
 // workerState is the coordinator's view of one serve worker.
@@ -189,6 +208,8 @@ type event struct {
 	worker   int
 	artifact string
 	err      error
+	elapsed  time.Duration    // evDone: dispatch-to-completion wall time
+	spans    []telemetry.Span // evDone: unit span + the worker's spans
 }
 
 // Run executes the sweep and returns the assembled artifact — the bytes
@@ -229,6 +250,29 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Scheduling counters; nil registry leaves every counter nil and inc
+	// a no-op, so an unmetered sweep pays nothing.
+	counter := func(name, help string) *telemetry.Counter {
+		if opts.Metrics == nil {
+			return nil
+		}
+		return opts.Metrics.Counter(name, help)
+	}
+	inc := func(c *telemetry.Counter) {
+		if c != nil {
+			c.Inc()
+		}
+	}
+	var (
+		mDispatched  = counter("racesim_sweep_dispatched_total", "Unit dispatches to workers, retries included.")
+		mCompleted   = counter("racesim_sweep_units_completed_total", "Units that rendered successfully.")
+		mReassigned  = counter("racesim_sweep_reassigned_total", "Unit dispatches that failed and were requeued.")
+		mQuarantined = counter("racesim_sweep_quarantined_total", "Workers entering quarantine (circuit opened).")
+		mDead        = counter("racesim_sweep_workers_dead_total", "Workers declared dead for the round.")
+		mProbes      = counter("racesim_sweep_probes_total", "Health probes sent to quarantined workers.")
+	)
+	traced := opts.Recorder.Enabled() && opts.Trace.Valid()
 
 	// Expand the selection exactly as a worker will: the unit IDs the
 	// coordinator dispatches name the same units in the worker's own
@@ -516,12 +560,35 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 			Seed:     opts.Seed,
 			Quiet:    true,
 		}}
-		id, err := w.client.Submit(ctx, job)
+		// Each dispatch attempt gets a fresh unit span; only the attempt
+		// that completes records it, so retries never double-cover a unit
+		// in the flight recorder.
+		start := time.Now()
+		jobCtx := ctx
+		var unitSpan telemetry.Span
+		if traced {
+			unitSpan = telemetry.Span{
+				Trace:  opts.Trace.Trace,
+				ID:     telemetry.NewID(),
+				Parent: opts.Trace.Span,
+				Name:   "unit",
+				Start:  start,
+				Attrs: map[string]string{
+					"unit":    u.unit.ID,
+					"worker":  w.url,
+					"attempt": fmt.Sprint(u.attempts + 1),
+				},
+			}
+			jobCtx = telemetry.ContextWithSpan(ctx, unitSpan.Context())
+		}
+		id, err := w.client.Submit(jobCtx, job)
 		if err != nil {
 			sendEvent(event{kind: evFail, unitIdx: ui, worker: wi, err: err})
 			return
 		}
-		st, err := w.client.Wait(ctx, id, opts.Poll)
+		// Watch streams the job's terminal state over SSE and falls back
+		// to polling at opts.Poll if the stream breaks mid-run.
+		st, err := w.client.Watch(ctx, id, opts.Poll)
 		if err != nil {
 			sendEvent(event{kind: evFail, unitIdx: ui, worker: wi, err: err})
 			return
@@ -531,7 +598,13 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				err: fmt.Errorf("job %s %s: %s", id, st.Status, st.Error)})
 			return
 		}
-		sendEvent(event{kind: evDone, unitIdx: ui, worker: wi, artifact: st.Result.Artifact})
+		ev := event{kind: evDone, unitIdx: ui, worker: wi,
+			artifact: st.Result.Artifact, elapsed: time.Since(start)}
+		if traced {
+			unitSpan.DurationNS = ev.elapsed.Nanoseconds()
+			ev.spans = append([]telemetry.Span{unitSpan}, st.Result.Spans...)
+		}
+		sendEvent(ev)
 	}
 
 	dispatch := func() {
@@ -555,6 +628,7 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				outstanding++
 				log("sweep: [%d/%d] %s -> %s%s", u.unit.Index+1, len(units), u.unit.ID, w.url,
 					map[bool]string{true: " (retry)", false: ""}[u.attempts > 0])
+				inc(mDispatched)
 				go runUnit(wi, ui)
 				progressed = true
 			}
@@ -581,6 +655,9 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 			rep.Completed[w.url]++
 			results[ev.unitIdx] = ev.artifact
 			completed++
+			inc(mCompleted)
+			rep.UnitDurations = append(rep.UnitDurations, ev.elapsed)
+			opts.Recorder.Add(ev.spans...)
 			if jnl != nil {
 				// Journal before anything else can crash us: a unit recorded
 				// here never re-runs on resume, one lost to a crash between
@@ -601,16 +678,19 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				if w.probes >= probeLimit {
 					w.dead = true
 					rep.Dead = append(rep.Dead, w.url)
+					inc(mDead)
 					log("sweep: worker %s marked dead after %d consecutive failures (probe budget spent)",
 						w.url, w.failStreak)
 				} else {
 					w.quarantined = true
 					rep.Quarantined = appendOnce(rep.Quarantined, w.url)
+					inc(mQuarantined)
 					log("sweep: worker %s quarantined after %d consecutive failures; probing",
 						w.url, w.failStreak)
 					outstanding++ // the prober keeps the loop alive
 					attempt := w.probes
 					w.probes++
+					inc(mProbes)
 					wi := ev.worker
 					go probe(wi, attempt)
 				}
@@ -623,6 +703,7 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 					u.unit.ID, u.attempts, w.url, ev.err)
 			}
 			rep.Reassigned++
+			inc(mReassigned)
 			delay := backoff << (u.attempts - 1)
 			log("sweep: unit %s failed on %s (attempt %d/%d): %v; redispatching in %v",
 				u.unit.ID, w.url, u.attempts, retries+1, ev.err, delay)
@@ -646,6 +727,7 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				w.quarantined = false
 				w.dead = true
 				rep.Dead = append(rep.Dead, w.url)
+				inc(mDead)
 				log("sweep: worker %s failed its final health probe (%d/%d): %v; marked dead",
 					w.url, w.probes, probeLimit, ev.err)
 			} else {
@@ -654,6 +736,7 @@ func Run(ctx context.Context, opts Options) (string, Report, error) {
 				outstanding++
 				attempt := w.probes
 				w.probes++
+				inc(mProbes)
 				wi := ev.worker
 				go probe(wi, attempt)
 			}

@@ -14,6 +14,7 @@ import (
 	"racesim/internal/chaos"
 	"racesim/internal/cluster"
 	"racesim/internal/engine"
+	"racesim/internal/telemetry"
 )
 
 // tinyArgs are the seconds-scale sweep parameters CI's smoke jobs use.
@@ -532,5 +533,106 @@ func TestSweepCacheServerSharedTier(t *testing.T) {
 	}
 	if rep2.Cache.RemoteHits == 0 {
 		t.Error("warm round reported no mid-run remote hits from the shared tier")
+	}
+}
+
+func TestSweepTracingCoversEveryUnitExactlyOnce(t *testing.T) {
+	_, tsA := startWorker(t)
+	_, tsB := startWorker(t)
+
+	rec := telemetry.NewRecorder()
+	root := telemetry.SpanContext{Trace: telemetry.NewID(), Span: telemetry.NewID()}
+	reg := telemetry.NewRegistry()
+	opts := tinyOptions(tsA.URL, tsB.URL)
+	opts.Trace = root
+	opts.Recorder = rec
+	opts.Metrics = reg
+
+	got, rep, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchArtifact(t, tinySelect); got != want {
+		t.Error("traced sweep output differs from single-process run")
+	}
+
+	spans := rec.Spans()
+	unitSpans := map[string]telemetry.Span{}
+	byID := map[string]telemetry.Span{}
+	for _, sp := range spans {
+		if sp.Trace != root.Trace {
+			t.Errorf("span %s/%s outside the sweep trace", sp.Name, sp.ID)
+		}
+		byID[sp.ID] = sp
+		if sp.Name == "unit" {
+			uid := sp.Attrs["unit"]
+			if _, dup := unitSpans[uid]; dup {
+				t.Errorf("unit %s covered twice in the flight recorder", uid)
+			}
+			unitSpans[uid] = sp
+		}
+	}
+	if len(unitSpans) != rep.Units {
+		t.Fatalf("flight recorder covers %d units, want %d: %v", len(unitSpans), rep.Units, unitSpans)
+	}
+	for uid, sp := range unitSpans {
+		if sp.Parent != root.Span {
+			t.Errorf("unit %s span not parented under the sweep root", uid)
+		}
+	}
+	// Worker-side job spans must parent under some unit span — the
+	// coordinator → worker hop survived the HTTP boundary.
+	jobSpans := 0
+	for _, sp := range spans {
+		if sp.Name != "job" {
+			continue
+		}
+		jobSpans++
+		parent, ok := byID[sp.Parent]
+		if !ok || parent.Name != "unit" {
+			t.Errorf("job span %s not parented under a unit span (parent %q)", sp.ID, sp.Parent)
+		}
+	}
+	if jobSpans != rep.Units {
+		t.Errorf("%d job spans for %d units", jobSpans, rep.Units)
+	}
+
+	if len(rep.UnitDurations) != rep.Units {
+		t.Errorf("%d unit durations for %d units", len(rep.UnitDurations), rep.Units)
+	}
+	for _, d := range rep.UnitDurations {
+		if d <= 0 {
+			t.Errorf("non-positive unit duration %v", d)
+		}
+	}
+
+	// Scheduling counters: a clean sweep dispatches and completes every
+	// unit, reassigns nothing.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"racesim_sweep_dispatched_total 3",
+		"racesim_sweep_units_completed_total 3",
+		"racesim_sweep_reassigned_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSweepUntracedRecordsNothing(t *testing.T) {
+	_, ts := startWorker(t)
+	opts := tinyOptions(ts.URL)
+	opts.Scenario = "table1"
+	got, _, err := cluster.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchArtifact(t, "table1"); got != want {
+		t.Error("untraced sweep output differs from single-process run")
 	}
 }

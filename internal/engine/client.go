@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"racesim/internal/telemetry"
 )
 
 // Client is a typed client for the serve HTTP API (see Server.Handler).
@@ -48,6 +51,9 @@ type Client struct {
 
 	buildOnce sync.Once
 	built     *http.Client
+
+	streamOnce sync.Once
+	stream     *http.Client
 }
 
 // ErrUnreachable wraps transport-level failures of Health: the worker
@@ -126,6 +132,11 @@ func (c *Client) Submit(ctx context.Context, job Job) (string, error) {
 			return "", err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if sc := telemetry.SpanFromContext(ctx); sc.Valid() {
+			// Propagate the caller's span so the worker parents its job
+			// span under it — the coordinator → worker trace hop.
+			req.Header.Set(telemetry.TraceHeader, sc.Header())
+		}
 		resp, err := c.http().Do(req)
 		if err != nil {
 			return "", err
@@ -267,6 +278,97 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 			return JobStatus{}, ctx.Err()
 		}
 	}
+}
+
+// streamHTTP is the client used for long-lived event streams: it shares
+// the transport (so the chaos injector still intercepts) but carries no
+// overall request timeout — an SSE stream legitimately outlives any
+// per-request bound, and cancellation comes from the caller's context.
+func (c *Client) streamHTTP() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	c.streamOnce.Do(func() {
+		c.stream = &http.Client{Transport: c.Transport}
+	})
+	return c.stream
+}
+
+// Watch follows a job to its terminal state over the live event stream
+// (GET /v1/jobs/{id}/events) and returns the final status — the same
+// value Wait's last poll returns, since the stream's terminal event
+// carries the polled body byte-for-byte. Any stream failure (transport
+// error, truncation, a server without the endpoint) falls back to
+// polling via Wait: streaming is an optimization, never a new failure
+// mode — which is also what keeps distributed sweeps robust under
+// chaos-injected connection drops.
+func (c *Client) Watch(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	st, err := c.watchEvents(ctx, id)
+	if err == nil {
+		return st, nil
+	}
+	if ctx.Err() != nil {
+		return JobStatus{}, ctx.Err()
+	}
+	c.logf("client: %s: job %s event stream failed (%v); falling back to polling", c.BaseURL, id, err)
+	return c.Wait(ctx, id, poll)
+}
+
+// watchEvents consumes the SSE stream until a terminal state event.
+func (c *Client) watchEvents(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.streamHTTP().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return JobStatus{}, apiErrorOf(resp, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return JobStatus{}, fmt.Errorf("job %s: events endpoint answered %q", id, ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // state events carry whole results
+	var event string
+	var data []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Event boundary: dispatch what we accumulated.
+			if event == "state" && len(data) > 0 {
+				// Reconstruct the exact polled body: the server split it on
+				// newlines, and every body ends with exactly one newline.
+				body := strings.Join(data, "\n") + "\n"
+				var st JobStatus
+				if err := json.Unmarshal([]byte(body), &st); err != nil {
+					return JobStatus{}, fmt.Errorf("job %s: malformed state event: %w", id, err)
+				}
+				switch st.Status {
+				case "done", "failed", "cancelled":
+					return st, nil
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):])
+		case strings.HasPrefix(line, ":"):
+			// comment/keepalive
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, err
+	}
+	return JobStatus{}, fmt.Errorf("job %s: event stream ended before a terminal state", id)
 }
 
 // Report fetches a finished validate job's ValidationReport JSON from

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"racesim/internal/simcache"
+	"racesim/internal/telemetry"
 )
 
 func TestClientSubmitHonorsRetryAfter(t *testing.T) {
@@ -56,11 +57,12 @@ func TestServerQueueFullAnswers429WithRetryAfter(t *testing.T) {
 	// first submission and never drains, so the full-queue answer is
 	// deterministic.
 	srv := &Server{
-		opts:  ServerOptions{QueueDepth: 1, KeepLog: 5, KeepJobs: 16},
-		cache: simcache.New(),
-		log:   func(string, ...any) {},
-		jobs:  map[string]*jobState{},
-		queue: make(chan *jobState, 1),
+		opts:    ServerOptions{QueueDepth: 1, KeepLog: 5, KeepJobs: 16},
+		cache:   simcache.New(),
+		log:     func(string, ...any) {},
+		jobs:    map[string]*jobState{},
+		queue:   make(chan *jobState, 1),
+		metrics: telemetry.NewRegistry(),
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -31,6 +31,7 @@ import (
 
 	"racesim/internal/prof"
 	"racesim/internal/simcache"
+	"racesim/internal/telemetry"
 	"racesim/internal/tracememo"
 )
 
@@ -206,6 +207,14 @@ type Options struct {
 	// and cancellation, and one that returns an error fails the job. The
 	// engine itself attaches no semantics to it.
 	FaultHook func(ctx context.Context) error
+	// Trace, when valid, is the parent span context of this execution
+	// (the serve worker's run span). The engine then records an engine
+	// span (with a simcache child carrying the job's cache activity) into
+	// Result.Spans and threads the context through ctx, so a distributed
+	// sweep's flight recorder sees coordinator → worker → engine →
+	// simcache as one tree. Zero disables span recording entirely —
+	// tracing is strictly additive and never changes job output.
+	Trace telemetry.SpanContext
 }
 
 // PanicError wraps a panic recovered from job execution. Jobs run
@@ -243,6 +252,11 @@ type Result struct {
 	// shared cache the counters are cumulative across jobs.
 	CacheStats simcache.Stats `json:"cache_stats"`
 	Elapsed    time.Duration  `json:"elapsed_ns"`
+	// Spans carries the execution's finished trace spans when
+	// Options.Trace was set (worker job/queue/run spans plus the engine
+	// and simcache spans recorded here). They travel back to the sweep
+	// coordinator inside the job result and land in the flight recorder.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // env threads the resolved lifecycle state through a job execution.
@@ -252,7 +266,7 @@ type env struct {
 	lanes  int
 	cache  *simcache.Cache
 	memo   *tracememo.Memo // nil: no trace memoization
-	shared bool // cache owned by the caller: skip snapshot load/save
+	shared bool            // cache owned by the caller: skip snapshot load/save
 	path   string
 
 	out, errw      io.Writer
@@ -385,6 +399,11 @@ func ExecuteContext(ctx context.Context, job Job, opts Options) (*Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Trace.Valid() {
+		// Thread the trace through the execution context so deeper layers
+		// (and FaultHook implementations) can read it.
+		ctx = telemetry.ContextWithSpan(ctx, opts.Trace)
+	}
 	res := &Result{Kind: job.Kind}
 	e := &env{
 		ctx:    ctx,
@@ -404,6 +423,7 @@ func ExecuteContext(ctx context.Context, job Job, opts Options) (*Result, error)
 	e.out = tee(opts.Stdout, &e.outBuf, opts.Capture)
 	e.errw = tee(opts.Stderr, &e.errBuf, opts.Capture)
 
+	cacheBefore := e.cache.Stats()
 	start := time.Now()
 	err := job.Check()
 	if err == nil {
@@ -440,7 +460,47 @@ func ExecuteContext(ctx context.Context, job Job, opts Options) (*Result, error)
 	res.Report = e.report
 	res.CacheStats = e.cache.Stats()
 	res.Elapsed = time.Since(start)
+	if opts.Trace.Valid() {
+		res.Spans = engineSpans(opts.Trace, job, start, res.Elapsed, cacheBefore, res.CacheStats, err)
+	}
 	return res, err
+}
+
+// engineSpans builds the engine-level span pair for one traced
+// execution: an "engine" span under the caller's parent (the serve
+// worker's run span) and a "simcache" child summarizing the cache
+// activity observed across the job. Under a shared cache the deltas may
+// include concurrent jobs' lookups — they are an activity summary, not
+// an exact attribution (see docs/observability.md).
+func engineSpans(parent telemetry.SpanContext, job Job, start time.Time, elapsed time.Duration, before, after simcache.Stats, err error) []telemetry.Span {
+	eng := telemetry.Span{
+		Trace:      parent.Trace,
+		ID:         telemetry.NewID(),
+		Parent:     parent.Span,
+		Name:       "engine",
+		Start:      start,
+		DurationNS: elapsed.Nanoseconds(),
+		Attrs:      map[string]string{"kind": job.Kind},
+	}
+	if err != nil {
+		eng.Attrs["error"] = err.Error()
+	}
+	sc := telemetry.Span{
+		Trace:      parent.Trace,
+		ID:         telemetry.NewID(),
+		Parent:     eng.ID,
+		Name:       "simcache",
+		Start:      start,
+		DurationNS: elapsed.Nanoseconds(),
+		Attrs: map[string]string{
+			"hits":        fmt.Sprint(after.Hits - before.Hits),
+			"misses":      fmt.Sprint(after.Misses - before.Misses),
+			"shared":      fmt.Sprint(after.Shared - before.Shared),
+			"remote_hits": fmt.Sprint(after.RemoteHits - before.RemoteHits),
+			"entries":     fmt.Sprint(after.Entries),
+		},
+	}
+	return []telemetry.Span{eng, sc}
 }
 
 // loadSnapshot opens the engine-level cache snapshot for jobs that manage

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"racesim/internal/telemetry"
+)
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// hasSample reports whether the exposition contains a sample line for
+// the given series prefix (name plus any label signature) with a
+// nonzero value.
+func hasNonzeroSample(text, prefix string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v := fields[len(fields)-1]; v != "0" && v != "0.000000" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	c := NewClient(ts.URL)
+	// An experiments job (exercises the job counters) plus a run job
+	// (actually simulates, so the cache counters move).
+	for _, job := range []Job{
+		tinyExperiments(),
+		{Kind: KindRun, Run: &RunJob{Ubench: "MD", Scale: 0.002}},
+	} {
+		id, err := c.Submit(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(ctx, id, 10*time.Millisecond); err != nil || st.Status != "done" {
+			t.Fatalf("%s job: %v / %+v", job.Kind, err, st)
+		}
+	}
+
+	text := scrape(t, ts)
+	if err := telemetry.ValidatePrometheus(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+
+	for _, want := range []string{
+		`racesim_build_info{`,
+		`racesim_jobs_submitted_total{kind="experiments"}`,
+		`racesim_jobs_total{kind="experiments",status="done"}`,
+		`racesim_job_run_seconds_bucket{kind="experiments",le="+Inf"}`,
+		`racesim_job_wait_seconds_count{kind="experiments"}`,
+		`racesim_cache_misses_total`,
+		`racesim_cache_entries{tier="total"}`,
+		`racesim_tracememo_entries`,
+		`racesim_job_queue_depth`,
+		`racesim_sse_streams`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing series %q", want)
+		}
+	}
+	for _, nonzero := range []string{
+		`racesim_build_info{`,
+		`racesim_jobs_total{kind="experiments",status="done"}`,
+		`racesim_jobs_submitted_total{kind="experiments"}`,
+		`racesim_cache_misses_total`,
+	} {
+		if !hasNonzeroSample(text, nonzero) {
+			t.Errorf("series %q is zero after a completed simulating job", nonzero)
+		}
+	}
+
+	// Two scrapes must render identically when nothing changed in
+	// between: deterministic ordering is part of the contract.
+	if again := scrape(t, ts); again != text {
+		t.Error("consecutive scrapes differ with no intervening activity")
+	}
+	srv.Drain(ctx)
+}
+
+func TestMetricsOnCacheServerRole(t *testing.T) {
+	srv, err := NewServer(ServerOptions{CacheServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	text := scrape(t, ts)
+	if err := telemetry.ValidatePrometheus(text); err != nil {
+		t.Fatalf("cache-server exposition invalid: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, `racesim_build_info{`) ||
+		!strings.Contains(text, `racesim_cache_entries{tier="total"}`) {
+		t.Errorf("cache-server scrape missing build/cache series:\n%s", text)
+	}
+	// No trace memo on a dedicated cache node — the series must be absent
+	// rather than lying with zeros.
+	if strings.Contains(text, "racesim_tracememo_") {
+		t.Error("cache-server role exposes tracememo series without a memo")
+	}
+}
+
+func TestHealthCarriesBuildInfo(t *testing.T) {
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	h, err := NewClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Build.Version == "" || h.Build.GoVersion == "" || h.Build.Commit == "" {
+		t.Errorf("healthz build info incomplete: %+v", h.Build)
+	}
+	srv.Drain(context.Background())
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"racesim/internal/telemetry"
+)
+
+// BenchmarkServeJobRoundTrip is the serve load generator: one client
+// driving warm jobs through the full HTTP lifecycle — POST /v1/jobs,
+// SSE watch to the terminal state — against an in-process server, so
+// the measured cost is the serving fabric itself (submission, queueing,
+// worker dispatch, event streaming) on top of an all-hits simulation.
+// Reports whole-path jobs/s plus p50/p90/p99 round-trip latency;
+// recorded in BENCH_serve.json and gated in budgets/bench.json.
+func BenchmarkServeJobRoundTrip(b *testing.B) {
+	srv, err := NewServer(ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+	job := Job{Kind: KindRun, Run: &RunJob{Ubench: "MD,CS1,MIP", Scale: 0.002}}
+
+	// Warm the shared cache and trace memo: steady state, like the
+	// engine benches.
+	id, err := c.Submit(ctx, job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err := c.Watch(ctx, id, time.Millisecond); err != nil || st.Status != "done" {
+		b.Fatalf("warm-up job: %v / %+v", err, st)
+	}
+
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		id, err := c.Submit(ctx, job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := c.Watch(ctx, id, time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Status != "done" {
+			b.Fatalf("job %s: %+v", st.Status, st)
+		}
+		durs = append(durs, time.Since(start))
+	}
+	b.StopTimer()
+	srv.Drain(ctx)
+
+	p := telemetry.Percentiles(durs, 0.50, 0.90, 0.99)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(p[0].Nanoseconds())/1e6, "p50_ms")
+	b.ReportMetric(float64(p[1].Nanoseconds())/1e6, "p90_ms")
+	b.ReportMetric(float64(p[2].Nanoseconds())/1e6, "p99_ms")
+}

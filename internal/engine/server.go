@@ -8,13 +8,15 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"racesim/internal/scenario"
 	"racesim/internal/simcache"
+	"racesim/internal/telemetry"
 	"racesim/internal/tracememo"
+	"racesim/internal/version"
 )
 
 // ServerOptions configures a long-lived job server.
@@ -100,20 +102,30 @@ type JobStatus struct {
 type jobState struct {
 	id  string
 	job Job
+	// ring is the job's stderr line buffer (see progressRing); it also
+	// fans completed lines out to SSE subscribers. It has its own lock
+	// and is written without holding mu.
+	ring *progressRing
+	// trace is the submitter's span context (X-Racesim-Trace), zero when
+	// the job was submitted untraced.
+	trace telemetry.SpanContext
 
 	mu        sync.Mutex
 	status    string
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
-	progress  []string
-	keep      int
 	err       error
 	result    *Result
 	// cancelled is set by DELETE /v1/jobs/{id}; cancel (non-nil while the
 	// job runs) aborts the execution context.
 	cancelled bool
 	cancel    context.CancelFunc
+	// subs are the live SSE subscriber channels; subsClosed marks the
+	// terminal state event as already fanned out (late subscribers get
+	// the replay only).
+	subs       map[chan jobEvent]struct{}
+	subsClosed bool
 }
 
 func (st *jobState) snapshot(includeResult bool) JobStatus {
@@ -126,7 +138,7 @@ func (st *jobState) snapshot(includeResult bool) JobStatus {
 		Submitted: st.submitted,
 		Started:   st.started,
 		Finished:  st.finished,
-		Progress:  append([]string(nil), st.progress...),
+		Progress:  st.ring.Lines(),
 	}
 	if st.err != nil {
 		out.Error = st.err.Error()
@@ -135,23 +147,6 @@ func (st *jobState) snapshot(includeResult bool) JobStatus {
 		out.Result = st.result
 	}
 	return out
-}
-
-// Write implements io.Writer over the progress ring: the job's stderr
-// stream is split into lines and the most recent `keep` are retained.
-func (st *jobState) Write(p []byte) (int, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
-		if line == "" {
-			continue
-		}
-		st.progress = append(st.progress, line)
-		if len(st.progress) > st.keep {
-			st.progress = st.progress[len(st.progress)-st.keep:]
-		}
-	}
-	return len(p), nil
 }
 
 // Server accepts jobs over HTTP and executes them on a bounded worker
@@ -163,6 +158,13 @@ type Server struct {
 	memo   *tracememo.Memo // shared trace memo, nil under CacheServer
 	remote *RemoteCache    // shared-tier resolver (CacheUpstream), or nil
 	log    func(format string, args ...any)
+
+	// metrics is the server's telemetry registry (GET /metrics); build is
+	// the identity it reports there and on /healthz; sseStreams counts
+	// open event streams.
+	metrics    *telemetry.Registry
+	build      version.Info
+	sseStreams atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -201,11 +203,13 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		log = func(string, ...any) {}
 	}
 	s := &Server{
-		opts:  opts,
-		cache: simcache.New(),
-		log:   log,
-		jobs:  map[string]*jobState{},
-		queue: make(chan *jobState, opts.QueueDepth),
+		opts:    opts,
+		cache:   simcache.New(),
+		log:     log,
+		jobs:    map[string]*jobState{},
+		queue:   make(chan *jobState, opts.QueueDepth),
+		metrics: telemetry.NewRegistry(),
+		build:   buildInfo,
 	}
 	if !opts.CacheServer {
 		// One process-lifetime trace memo shared by every job: repeated
@@ -247,6 +251,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		}
 	}
 	s.resetSeedBaseline()
+	s.registerMetrics()
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -281,30 +286,44 @@ func (s *Server) worker() {
 		st.status = "running"
 		st.started = time.Now()
 		st.mu.Unlock()
+		st.notifyState()
 		s.log("serve: job %s (%s) running", st.id, st.job.Kind)
+
+		// A traced job gets the worker-side span skeleton: a job span
+		// parented under the submitter's context, with queue and run
+		// children. The engine parents its own spans under the run span.
+		opts := Options{
+			Parallelism: s.opts.Parallelism,
+			Lanes:       s.opts.Lanes,
+			Cache:       s.cache,
+			TraceMemo:   s.memo,
+			Stderr:      st.ring, // live progress ring
+			Capture:     true,    // the stored Result is the job's only output
+			FaultHook:   s.opts.FaultHook,
+		}
+		var jobSpanID, queueSpanID, runSpanID string
+		if st.trace.Valid() {
+			jobSpanID, queueSpanID, runSpanID = telemetry.NewID(), telemetry.NewID(), telemetry.NewID()
+			opts.Trace = telemetry.SpanContext{Trace: st.trace.Trace, Span: runSpanID}
+		}
 
 		// ExecuteContext recovers job panics into a *PanicError, so a
 		// panicking simulation fails one job — with its stack preserved
 		// below — instead of killing this worker goroutine (and, once every
 		// worker died, silently wedging the whole queue).
-		res, err := ExecuteContext(ctx, st.job, Options{
-			Parallelism: s.opts.Parallelism,
-			Lanes:       s.opts.Lanes,
-			Cache:       s.cache,
-			TraceMemo:   s.memo,
-			Stderr:      st,   // live progress ring
-			Capture:     true, // the stored Result is the job's only output
-			FaultHook:   s.opts.FaultHook,
-		})
+		res, err := ExecuteContext(ctx, st.job, opts)
 		cancel()
 
 		var pe *PanicError
 		if errors.As(err, &pe) {
-			// The stack goes through the ring writer (before taking st.mu —
-			// Write locks it too), so GET /v1/jobs/{id} shows where the job
-			// died without the operator grepping server logs.
-			st.Write([]byte(fmt.Sprintf("panic: %v\n%s", pe.Value, pe.Stack)))
+			// The stack goes through the ring writer, so GET /v1/jobs/{id}
+			// shows where the job died without the operator grepping server
+			// logs.
+			st.ring.Write([]byte(fmt.Sprintf("panic: %v\n%s", pe.Value, pe.Stack)))
 		}
+		// Promote any unterminated trailing output into the ring before the
+		// terminal snapshot is taken.
+		st.ring.Flush()
 		st.mu.Lock()
 		st.cancel = nil
 		st.finished = time.Now()
@@ -321,9 +340,35 @@ func (s *Server) worker() {
 		default:
 			st.status = "failed"
 		}
+		kind, status := st.job.Kind, st.status
+		wait := st.started.Sub(st.submitted)
+		run := st.finished.Sub(st.started)
+		if st.trace.Valid() {
+			spans := []telemetry.Span{
+				{
+					Trace: st.trace.Trace, ID: jobSpanID, Parent: st.trace.Span,
+					Name: "job", Start: st.submitted,
+					DurationNS: st.finished.Sub(st.submitted).Nanoseconds(),
+					Attrs:      map[string]string{"id": st.id, "kind": kind, "status": status},
+				},
+				{
+					Trace: st.trace.Trace, ID: queueSpanID, Parent: jobSpanID,
+					Name: "queue", Start: st.submitted,
+					DurationNS: wait.Nanoseconds(),
+				},
+				{
+					Trace: st.trace.Trace, ID: runSpanID, Parent: jobSpanID,
+					Name: "run", Start: st.started,
+					DurationNS: run.Nanoseconds(),
+				},
+			}
+			res.Spans = append(spans, res.Spans...)
+		}
 		st.mu.Unlock()
 		s.retire(st.id)
-		s.log("serve: job %s (%s) %s in %v", st.id, st.job.Kind, st.statusString(), res.Elapsed.Round(time.Millisecond))
+		s.jobCounters(kind, status, wait.Seconds(), run.Seconds())
+		st.notifyState()
+		s.log("serve: job %s (%s) %s in %v", st.id, st.job.Kind, status, res.Elapsed.Round(time.Millisecond))
 	}
 }
 
@@ -387,6 +432,14 @@ var (
 // ErrDraining once Drain has started, ErrQueueFull beyond QueueDepth,
 // and ErrCacheServer always on a dedicated cache node.
 func (s *Server) Submit(job Job) (string, error) {
+	return s.SubmitTraced(job, telemetry.SpanContext{})
+}
+
+// SubmitTraced is Submit carrying the submitter's span context (the
+// X-Racesim-Trace header on POST /v1/jobs). A valid context makes the
+// job record worker and engine spans into its Result; the zero context
+// submits untraced.
+func (s *Server) SubmitTraced(job Job, sc telemetry.SpanContext) (string, error) {
 	if s.opts.CacheServer {
 		return "", ErrCacheServer
 	}
@@ -407,8 +460,11 @@ func (s *Server) Submit(job Job) (string, error) {
 		job:       job,
 		status:    "queued",
 		submitted: time.Now(),
-		keep:      s.opts.KeepLog,
+		trace:     sc,
 	}
+	st.ring = newProgressRing(s.opts.KeepLog, func(line string, seq int64) {
+		st.notify(jobEvent{Kind: "progress", Data: line, Seq: seq})
+	})
 	select {
 	case s.queue <- st:
 	default:
@@ -419,6 +475,9 @@ func (s *Server) Submit(job Job) (string, error) {
 	s.jobs[st.id] = st
 	s.order = append(s.order, st.id)
 	s.mu.Unlock()
+	s.metrics.Counter("racesim_jobs_submitted_total",
+		"Jobs accepted onto the queue, by kind.",
+		telemetry.L("kind", job.Kind)).Inc()
 	s.log("serve: job %s (%s) queued", st.id, job.Kind)
 	return st.id, nil
 }
@@ -484,6 +543,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	POST /v1/jobs              submit a Job (JSON body), 202 + {"id": ...}
 //	GET  /v1/jobs              list job statuses (no results)
 //	GET  /v1/jobs/{id}         one job's status, result included when done
+//	GET  /v1/jobs/{id}/events  live job events (Server-Sent Events stream)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET  /v1/jobs/{id}/artifact  the raw rendered artifact (text/plain)
 //	GET  /v1/jobs/{id}/report  a validate job's ValidationReport (JSON)
@@ -492,12 +552,15 @@ func (s *Server) Drain(ctx context.Context) error {
 //	POST /v1/cache/snapshot    merge a snapshot (pre-seed; either format)
 //	GET  /v1/cache/entry/{key} one entry as a checksummed record (404 on miss)
 //	PUT  /v1/cache/entry/{key} store one checksummed record (shared-tier write-back)
-//	GET  /healthz              liveness + queue/cache statistics
+//	GET  /healthz              liveness + queue/cache statistics + build info
+//	GET  /metrics              Prometheus text-format metrics (every role)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
@@ -530,7 +593,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job: %v", err)})
 		return
 	}
-	id, err := s.Submit(job)
+	id, err := s.SubmitTraced(job, telemetry.ParseHeader(r.Header.Get(telemetry.TraceHeader)))
 	if err != nil {
 		code := http.StatusBadRequest
 		switch {
@@ -623,6 +686,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.mu.Unlock()
+	if status == "cancelled" {
+		// Cancelled while queued: that was the terminal transition — close
+		// any event streams with the final state.
+		st.notifyState()
+	}
 	s.log("serve: job %s (%s) cancel requested (%s)", st.id, st.job.Kind, status)
 	writeJSON(w, http.StatusAccepted, struct {
 		ID     string `json:"id"`
@@ -740,6 +808,7 @@ type Health struct {
 	Workers int             `json:"workers"`
 	Cache   simcache.Stats  `json:"cache"`
 	Traces  tracememo.Stats `json:"traces"` // trace-memo effectiveness
+	Build   version.Info    `json:"build"`  // which build answered
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -751,6 +820,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status: map[bool]string{false: "ok", true: "draining"}[draining],
 		Queued: len(s.queue), Jobs: total, Workers: s.opts.Workers,
 		Cache: s.cache.Stats(), Traces: s.memo.Stats(),
+		Build: s.build,
 	})
 }
 

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a span context across
+// process hops: "<trace-id>-<span-id>". The coordinator stamps it on
+// every POST /v1/jobs; the worker parents its job span under it; the
+// engine parents its spans under the worker's run span — so a sweep's
+// flight recorder reconstructs the whole distributed run as one tree.
+const TraceHeader = "X-Racesim-Trace"
+
+// SpanContext identifies one span within one trace — the part of a span
+// that crosses process boundaries. The zero value means "no trace".
+type SpanContext struct {
+	Trace string // 16 hex chars shared by every span of one run
+	Span  string // 16 hex chars unique per span
+}
+
+// Valid reports whether the context carries a trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != "" }
+
+// Header renders the context in TraceHeader form.
+func (sc SpanContext) Header() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.Trace + "-" + sc.Span
+}
+
+// ParseHeader decodes a TraceHeader value; malformed input returns the
+// zero (invalid) context — tracing is best-effort, a bad header must
+// never fail a job.
+func ParseHeader(v string) SpanContext {
+	trace, span, ok := strings.Cut(strings.TrimSpace(v), "-")
+	if !ok || trace == "" || span == "" {
+		return SpanContext{}
+	}
+	if !isHexID(trace) || !isHexID(span) {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: trace, Span: span}
+}
+
+func isHexID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewID returns a fresh random 16-hex-char identifier (trace or span).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a usable (if colliding) fallback.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed operation in a trace. Spans are plain data: they
+// marshal to one JSONL line in the flight recorder and travel between
+// processes inside job results.
+type Span struct {
+	Trace  string    `json:"trace"`
+	ID     string    `json:"id"`
+	Parent string    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// DurationNS is the span's wall-clock duration in nanoseconds.
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Context returns the span's own context (for parenting children).
+func (s Span) Context() SpanContext { return SpanContext{Trace: s.Trace, Span: s.ID} }
+
+// Recorder accumulates spans for one run — the flight recorder. A nil
+// *Recorder is a valid no-op sink, so layers thread "maybe tracing"
+// without branching.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether spans are being collected.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Add appends finished spans (local or collected from a remote
+// process). Nil receiver discards.
+func (r *Recorder) Add(spans ...Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, spans...)
+	r.mu.Unlock()
+}
+
+// Spans snapshots the recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// ActiveSpan is an in-progress span; End records it.
+type ActiveSpan struct {
+	rec   *Recorder
+	span  Span
+	start time.Time
+}
+
+// StartSpan opens a span under parent (zero parent = a root span with a
+// fresh trace id) and returns it active. On a nil recorder the span is
+// still timed and its context usable for propagation — it just never
+// lands anywhere.
+func (r *Recorder) StartSpan(name string, parent SpanContext, attrs map[string]string) *ActiveSpan {
+	sp := Span{ID: NewID(), Name: name, Attrs: attrs}
+	if parent.Valid() {
+		sp.Trace = parent.Trace
+		sp.Parent = parent.Span
+	} else {
+		sp.Trace = NewID()
+	}
+	now := time.Now()
+	sp.Start = now
+	return &ActiveSpan{rec: r, span: sp, start: now}
+}
+
+// Context returns the active span's context for parenting children and
+// header propagation.
+func (a *ActiveSpan) Context() SpanContext { return a.span.Context() }
+
+// SetAttr sets one attribute on the span (last write wins).
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a.span.Attrs == nil {
+		a.span.Attrs = map[string]string{}
+	}
+	a.span.Attrs[key] = value
+}
+
+// End stamps the duration and records the span.
+func (a *ActiveSpan) End() {
+	a.span.DurationNS = time.Since(a.start).Nanoseconds()
+	a.rec.Add(a.span)
+}
+
+// WriteJSONL writes every recorded span as one JSON object per line —
+// the flight-recorder file format (`racesim sweep -trace-out`). Spans
+// are ordered by start time (ties broken by span id) so the file is
+// deterministic for a given set of spans.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	spans := r.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a flight-recorder file back into spans (tests, trace
+// tooling). Blank lines are skipped; a malformed line is an error
+// naming its line number.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var spans []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal([]byte(text), &sp); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// ctxKey is the context key carrying a SpanContext across API layers
+// (the engine client reads it to stamp TraceHeader on submissions).
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the span context from ctx (zero when absent).
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Percentiles returns the exact p-quantiles of ds (nearest-rank) in the
+// order requested. Used for the sweep's end-of-run p50/p90/p99 unit
+// latency summary, where the full sample set is in hand and a histogram
+// estimate would be needlessly approximate. Empty input yields zeros.
+func Percentiles(ds []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(ds) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		// Nearest-rank: ceil(p*n), 1-based.
+		rank := int(p*float64(len(sorted)) + 0.9999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}

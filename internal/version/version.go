@@ -1,0 +1,64 @@
+// Package version exposes racesim's build identity: the release
+// version, the Go toolchain that built the binary, and the VCS commit
+// when the build embedded one. It feeds `racesim version`, the
+// /healthz build block, and the racesim_build_info constant-label gauge
+// on /metrics — so a scrape (or a fleet of worker scrapes) identifies
+// exactly which build produced its series.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Release is the racesim release string. Overridable at link time:
+//
+//	go build -ldflags "-X racesim/internal/version.Release=v1.2.3"
+//
+// When the module is built with a real module version (a tagged
+// install), that version wins over this default.
+var Release = "v0.10.0-dev"
+
+// Info is the build identity triple.
+type Info struct {
+	Version   string `json:"version"`    // release string (see Release)
+	GoVersion string `json:"go_version"` // toolchain, e.g. "go1.24.0"
+	Commit    string `json:"commit"`     // VCS revision, "unknown" when not embedded
+}
+
+// Get resolves the build identity from the linked Release string and
+// the build info the toolchain embedded (module version, vcs.revision,
+// vcs.modified).
+func Get() Info {
+	info := Info{Version: Release, GoVersion: runtime.Version(), Commit: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) >= 12 {
+				info.Commit = s.Value[:12]
+			} else if s.Value != "" {
+				info.Commit = s.Value
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && info.Commit != "unknown" {
+		info.Commit += "-dirty"
+	}
+	return info
+}
+
+// String renders the identity as one line, the `racesim version` output.
+func (i Info) String() string {
+	return fmt.Sprintf("racesim %s %s commit %s", i.Version, i.GoVersion, i.Commit)
+}
